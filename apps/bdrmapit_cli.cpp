@@ -1,0 +1,203 @@
+// apps/bdrmapit_cli.cpp — the bdrmapIT command-line tool.
+//
+// Mirrors the released tool's pipeline: file inputs in the standard
+// formats, TSV outputs ready for downstream analysis.
+//
+//   bdrmapit_cli --traces FILE --rib FILE --rels FILE
+//                [--delegations FILE] [--ixp FILE] [--aliases FILE]
+//                [--output FILE] [--as-links FILE]
+//                [--max-iterations N]
+//                [--no-last-hop-dest] [--no-third-party]
+//                [--no-reallocated] [--no-exceptions] [--no-hidden-as]
+//                [--no-link-class-filter]
+//
+// Inputs:
+//   --traces       traceroute corpus (T|vp|dst|ttl:addr:type;... lines)
+//   --rib          BGP table ("prefix as-path" or prefix2as lines)
+//   --rels         CAIDA serial-1 AS relationships
+//   --delegations  RIR extended delegation file (optional)
+//   --ixp          IXP prefix list, one per line (optional)
+//   --aliases      ITDK-style nodes file (optional)
+//
+// Outputs:
+//   --output       TSV: addr <tab> router_as <tab> conn_as <tab> flags
+//   --as-links     TSV: as_a <tab> as_b (deduplicated AS adjacencies)
+//   --itdk PREFIX  write PREFIX.nodes and PREFIX.nodes.as (ITDK style)
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "asrel/serial1.hpp"
+#include "core/bdrmapit.hpp"
+#include "core/itdk.hpp"
+#include "tracedata/scamper_json.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --traces FILE --rib FILE --rels FILE\n"
+               "          [--delegations FILE] [--ixp FILE] [--aliases FILE]\n"
+               "          [--output FILE] [--as-links FILE] [--max-iterations N]\n"
+               "          [--no-last-hop-dest] [--no-third-party] "
+               "[--no-reallocated]\n"
+               "          [--no-exceptions] [--no-hidden-as] "
+               "[--no-link-class-filter]\n",
+               argv0);
+}
+
+std::ifstream open_or_die(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  return in;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  core::AnnotatorOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--no-last-hop-dest") {
+      opt.use_last_hop_dest = false;
+    } else if (a == "--no-third-party") {
+      opt.use_third_party = false;
+    } else if (a == "--no-reallocated") {
+      opt.use_reallocated = false;
+    } else if (a == "--no-exceptions") {
+      opt.use_exceptions = false;
+    } else if (a == "--no-hidden-as") {
+      opt.use_hidden_as = false;
+    } else if (a == "--no-link-class-filter") {
+      opt.use_link_class_filter = false;
+    } else if (a.rfind("--", 0) == 0 && i + 1 < argc) {
+      args[a.substr(2)] = argv[++i];
+    } else {
+      usage(argv[0]);
+      return 1;
+    }
+  }
+  for (const char* required : {"traces", "rib", "rels"}) {
+    if (!args.contains(required)) {
+      usage(argv[0]);
+      return 1;
+    }
+  }
+  if (args.contains("max-iterations"))
+    opt.max_iterations = std::atoi(args["max-iterations"].c_str());
+
+  // ---- load inputs ----------------------------------------------------
+  bgp::Rib rib;
+  {
+    auto in = open_or_die(args["rib"]);
+    const std::size_t bad = rib.read(in);
+    if (bad) std::fprintf(stderr, "warning: %zu malformed RIB lines\n", bad);
+  }
+  std::vector<bgp::Delegation> delegations;
+  if (args.contains("delegations")) {
+    auto in = open_or_die(args["delegations"]);
+    delegations = bgp::read_delegations(in);
+  }
+  std::vector<netbase::Prefix> ixp;
+  if (args.contains("ixp")) {
+    auto in = open_or_die(args["ixp"]);
+    ixp = bgp::Ip2AS::read_ixp_prefixes(in);
+  }
+  const bgp::Ip2AS ip2as = bgp::Ip2AS::build(rib, delegations, ixp);
+
+  asrel::RelStore rels;
+  {
+    auto in = open_or_die(args["rels"]);
+    const std::size_t bad = asrel::load_serial1(in, rels);
+    if (bad) std::fprintf(stderr, "warning: %zu malformed rel lines\n", bad);
+    rels.finalize();
+  }
+
+  std::vector<tracedata::Traceroute> corpus;
+  {
+    auto in = open_or_die(args["traces"]);
+    // Auto-detect the corpus format: scamper-style jsonl starts with
+    // '{'; the native format with 'T|'.
+    std::string first;
+    while (std::getline(in, first)) {
+      std::string_view t = first;
+      while (!t.empty() && t.front() == ' ') t.remove_prefix(1);
+      if (!t.empty() && t.front() != '#') break;
+    }
+    in.clear();
+    in.seekg(0);
+    std::size_t bad = 0;
+    if (!first.empty() && first.find_first_not_of(" \t") != std::string::npos &&
+        first[first.find_first_not_of(" \t")] == '{')
+      corpus = tracedata::read_json_traceroutes(in, &bad);
+    else
+      corpus = tracedata::read_traceroutes(in, &bad);
+    if (bad) std::fprintf(stderr, "warning: %zu malformed traceroute lines\n", bad);
+  }
+  tracedata::AliasSets aliases;
+  if (args.contains("aliases")) {
+    auto in = open_or_die(args["aliases"]);
+    aliases = tracedata::AliasSets::read(in);
+  }
+
+  std::fprintf(stderr,
+               "loaded %zu traceroutes, %zu RIB prefixes, %zu delegations, "
+               "%zu IXP prefixes, %zu alias sets, %zu/%zu AS relationships\n",
+               corpus.size(), rib.origins().size(), delegations.size(), ixp.size(),
+               aliases.size(), rels.p2c_edges(), rels.p2p_edges());
+
+  // ---- run --------------------------------------------------------------
+  const core::Result result = core::Bdrmapit::run(corpus, aliases, ip2as, rels, opt);
+  std::fprintf(stderr, "annotated %zu interfaces in %d refinement iterations\n",
+               result.interfaces.size(), result.iterations);
+
+  // ---- write outputs ------------------------------------------------------
+  {
+    std::ofstream file;
+    std::ostream* out = &std::cout;
+    if (args.contains("output")) {
+      file.open(args["output"]);
+      out = &file;
+    }
+    *out << "# addr\trouter_as\tconn_as\tflags\n";
+    // Deterministic order: sort addresses.
+    std::vector<netbase::IPAddr> addrs;
+    addrs.reserve(result.interfaces.size());
+    for (const auto& [addr, inf] : result.interfaces) addrs.push_back(addr);
+    std::sort(addrs.begin(), addrs.end());
+    for (const auto& addr : addrs) {
+      const auto& inf = result.interfaces.at(addr);
+      std::string flags;
+      if (inf.interdomain()) flags += 'B';  // border
+      if (inf.ixp) flags += 'X';
+      if (!inf.seen_non_echo) flags += 'E';  // echo-only
+      *out << addr.to_string() << '\t' << inf.router_as << '\t' << inf.conn_as
+           << '\t' << (flags.empty() ? "-" : flags) << '\n';
+    }
+  }
+  if (args.contains("as-links")) {
+    std::ofstream out(args["as-links"]);
+    out << "# as_a\tas_b\n";
+    for (const auto& [a, b] : result.as_links()) out << a << '\t' << b << '\n';
+  }
+  if (args.contains("itdk")) {
+    const auto nodes = core::itdk_nodes(result);
+    {
+      std::ofstream out(args["itdk"] + ".nodes");
+      core::write_itdk_nodes(out, nodes);
+    }
+    {
+      std::ofstream out(args["itdk"] + ".nodes.as");
+      core::write_itdk_nodes_as(out, nodes);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// apps/gen_testdata.cpp — synthetic dataset generator.
+//
+// Materializes a complete bdrmapIT input bundle (plus ground truth) to
+// a directory, in the same file formats the real pipeline consumes:
+//
+//   traces.txt        traceroute corpus
+//   rib.txt           BGP table with AS paths
+//   delegations.txt   RIR extended delegation file
+//   ixp.txt           IXP prefix list
+//   rels.txt          CAIDA serial-1 AS relationships
+//   aliases.nodes     ITDK-style alias sets (MIDAR-like)
+//   ground_truth.tsv  addr <tab> owner_as <tab> other_as(es) per interface
+//   networks.txt      the four validation networks' ASNs
+//
+// Usage: gen_testdata --out DIR [--vps N] [--seed S] [--scale small|default]
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "asrel/serial1.hpp"
+#include "eval/experiment.hpp"
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (argv[i][0] != '-' || argv[i][1] != '-') {
+      std::fprintf(stderr, "usage: %s --out DIR [--vps N] [--seed S] "
+                           "[--scale small|default]\n", argv[0]);
+      return 1;
+    }
+    args[argv[i] + 2] = argv[i + 1];
+  }
+  if (!args.contains("out")) {
+    std::fprintf(stderr, "error: --out DIR is required\n");
+    return 1;
+  }
+  const std::size_t vps = args.contains("vps")
+                              ? static_cast<std::size_t>(std::stoul(args["vps"]))
+                              : 40;
+  const std::uint64_t seed =
+      args.contains("seed") ? std::stoull(args["seed"]) : 20181031;
+  topo::SimParams params =
+      args["scale"] == "small" ? topo::small_params() : topo::SimParams{};
+  params.seed = seed;
+
+  const std::filesystem::path dir(args["out"]);
+  std::filesystem::create_directories(dir);
+
+  std::fprintf(stderr, "generating internet (%zu ASes, seed %llu)...\n",
+               params.tier1 + params.transit + params.regional + params.stub,
+               static_cast<unsigned long long>(seed));
+  eval::Scenario s =
+      eval::make_scenario(params, vps, /*exclude_validation=*/true, seed);
+
+  {
+    std::ofstream out(dir / "traces.txt");
+    tracedata::write_traceroutes(out, s.corpus);
+  }
+  {
+    std::ofstream out(dir / "rib.txt");
+    s.net.rib().write(out);
+  }
+  {
+    std::ofstream out(dir / "delegations.txt");
+    bgp::write_delegations(out, s.net.delegations());
+  }
+  {
+    std::ofstream out(dir / "ixp.txt");
+    out << "# IXP prefixes\n";
+    for (const auto& p : s.net.ixp_prefixes()) out << p.to_string() << '\n';
+  }
+  {
+    std::ofstream out(dir / "rels.txt");
+    asrel::write_serial1(out, s.net.relationships());
+  }
+  {
+    std::ofstream out(dir / "aliases.nodes");
+    eval::midar_aliases(s).write(out);
+  }
+  {
+    std::ofstream out(dir / "ground_truth.tsv");
+    out << "# addr\towner_as\tother_as(es)\n";
+    for (std::size_t fid = 0; fid < s.net.ifaces().size(); ++fid) {
+      const auto& f = s.net.ifaces()[fid];
+      out << f.addr.to_string() << '\t' << s.net.owner_of_router(f.router) << '\t';
+      const auto* t = s.gt.truth(f.addr);
+      if (!t || t->others.empty()) {
+        out << '-';
+      } else {
+        for (std::size_t i = 0; i < t->others.size(); ++i) {
+          if (i) out << ',';
+          out << t->others[i];
+        }
+      }
+      out << '\n';
+    }
+  }
+  {
+    std::ofstream out(dir / "networks.txt");
+    out << "# validation networks\n";
+    for (const auto& [label, asn] : eval::validation_networks(s.net))
+      out << label << '\t' << asn << '\n';
+  }
+  std::fprintf(stderr,
+               "wrote %zu traceroutes, %zu interfaces of ground truth to %s\n",
+               s.corpus.size(), s.net.ifaces().size(), dir.string().c_str());
+  return 0;
+}

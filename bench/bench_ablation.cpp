@@ -1,0 +1,105 @@
+// bench_ablation — contribution of each adapted heuristic (not a paper
+// figure; DESIGN.md's ablation of the design choices Table 1 calls out).
+//
+// Runs bdrmapIT with one heuristic disabled at a time and reports mean
+// precision/recall over the four validation networks, plus a final
+// comparison of published vs path-inferred AS relationships. The paper
+// argues (§7.2) that the destination-based last-hop heuristic is the
+// largest single contributor, followed by the relationship-driven
+// third-party and exception handling; this bench quantifies that on the
+// synthetic substrate.
+
+#include "bench_util.hpp"
+
+namespace {
+
+struct Row {
+  const char* label;
+  core::AnnotatorOptions opt;
+};
+
+struct Score {
+  double precision, recall, owner_acc;
+};
+
+Score score(const eval::Scenario& s, const core::AnnotatorOptions& opt) {
+  core::Result r =
+      core::Bdrmapit::run(s.corpus, eval::midar_aliases(s), s.ip2as, s.rels, opt);
+  double p = 0, rec = 0;
+  std::size_t n = 0;
+  for (const auto& [label, asn] : eval::validation_networks(s.net)) {
+    const auto m = eval::evaluate_network(s.net, s.gt, s.vis, r.interfaces, asn);
+    p += m.precision();
+    rec += m.recall();
+    ++n;
+  }
+  return {p / static_cast<double>(n), rec / static_cast<double>(n),
+          eval::global_owner_accuracy(s.gt, s.vis, r.interfaces)};
+}
+
+}  // namespace
+
+int main() {
+  benchutil::print_header("Ablation — per-heuristic contribution (mean over "
+                          "validation networks)");
+
+  std::vector<Row> rows;
+  rows.push_back({"full algorithm", {}});
+  {
+    core::AnnotatorOptions o;
+    o.use_last_hop_dest = false;
+    rows.push_back({"- last-hop destinations (s5.2)", o});
+  }
+  {
+    core::AnnotatorOptions o;
+    o.use_third_party = false;
+    rows.push_back({"- third-party test (s6.1.1)", o});
+  }
+  {
+    core::AnnotatorOptions o;
+    o.use_reallocated = false;
+    rows.push_back({"- reallocated prefixes (s6.1.2)", o});
+  }
+  {
+    core::AnnotatorOptions o;
+    o.use_exceptions = false;
+    rows.push_back({"- vote exceptions (s6.1.3)", o});
+  }
+  {
+    core::AnnotatorOptions o;
+    o.use_hidden_as = false;
+    rows.push_back({"- hidden AS (s6.1.5)", o});
+  }
+  {
+    core::AnnotatorOptions o;
+    o.use_link_class_filter = false;
+    rows.push_back({"- link-class filter (s4.2)", o});
+  }
+
+  topo::SimParams params;
+  std::printf("\n%-34s %10s %10s %10s\n", "configuration", "precision",
+              "recall", "owner-acc");
+  for (const auto& ds : benchutil::itdk_datasets()) {
+    eval::Scenario s = eval::make_scenario(params, ds.vps, true, ds.seed);
+    std::printf("dataset %s:\n", ds.label);
+    for (const auto& row : rows) {
+      const Score sc = score(s, row.opt);
+      std::printf("  %-32s %9.1f%% %9.1f%% %9.2f%%\n", row.label,
+                  100.0 * sc.precision, 100.0 * sc.recall, 100.0 * sc.owner_acc);
+    }
+  }
+
+  benchutil::print_header("Ablation — AS relationship source");
+  std::printf("%-6s %-12s %10s %10s\n", "data", "relationships", "precision",
+              "recall");
+  for (const auto& ds : benchutil::itdk_datasets()) {
+    for (auto src : {eval::RelSource::published, eval::RelSource::inferred}) {
+      eval::Scenario s = eval::make_scenario(params, ds.vps, true, ds.seed, src);
+      const Score sc = score(s, {});
+      std::printf("%-6s %-12s %9.1f%% %9.1f%%\n", ds.label,
+                  src == eval::RelSource::published ? "published" : "inferred",
+                  100.0 * sc.precision, 100.0 * sc.recall);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// bench_dualstack — IPv6 extension (not a paper figure; the direction
+// of the authors' follow-on work and of the ITDK's v6 kits).
+//
+// bdrmapIT's heuristics never touch address bits directly, so the same
+// pipeline maps IPv6 borders unchanged. This bench runs a dual-stack
+// campaign and scores the same validation networks three ways: with the
+// v4 half of the corpus, the v6 half, and the combined corpus —
+// demonstrating family parity and the (mild) cross-family reinforcement
+// from shared destination context.
+
+#include "bench_util.hpp"
+
+int main() {
+  benchutil::print_header("Dual-stack — v4-only vs v6-only vs combined corpora");
+
+  topo::SimParams params;
+  params.dual_stack = true;
+  eval::Scenario s = eval::make_scenario(params, 60, true, 64);
+
+  std::vector<tracedata::Traceroute> v4, v6;
+  for (const auto& t : s.corpus) (t.dst.is_v6() ? v6 : v4).push_back(t);
+  std::printf("corpus: %zu v4 + %zu v6 traceroutes\n\n", v4.size(), v6.size());
+
+  struct Slice {
+    const char* label;
+    const std::vector<tracedata::Traceroute>* corpus;
+  };
+  const std::vector<tracedata::Traceroute>& both = s.corpus;
+  for (const Slice slice : {Slice{"v4-only", &v4}, Slice{"v6-only", &v6},
+                            Slice{"combined", &both}}) {
+    eval::Visibility vis = eval::observe(*slice.corpus);
+    topo::AliasSimulator alias_sim(s.net, *slice.corpus);
+    core::Result r = core::Bdrmapit::run(*slice.corpus, alias_sim.midar_like(),
+                                         s.ip2as, s.rels);
+    std::printf("%s:\n", slice.label);
+    for (const auto& [label, asn] : eval::validation_networks(s.net)) {
+      const auto m = eval::evaluate_network(s.net, s.gt, vis, r.interfaces, asn);
+      std::printf("  %-10s precision %6.1f%%  recall %6.1f%%  (%zu links)\n",
+                  label.c_str(), 100.0 * m.precision(), 100.0 * m.recall(),
+                  m.visible_links);
+    }
+  }
+  return 0;
+}

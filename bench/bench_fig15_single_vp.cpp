@@ -1,0 +1,73 @@
+// bench_fig15_single_vp — reproduces paper Fig. 15.
+//
+// The §7.1 regression against bdrmap: a single VP inside each
+// ground-truth network, identical traceroute input for both tools.
+// Accuracy is the fraction of evaluated interdomain-link claims
+// involving the VP network that are correct.
+//
+// Paper result: bdrmapIT is at least as accurate as bdrmap on all four
+// networks (both in the 0.9-1.0 band), slightly better thanks to
+// mapping past the VP AS border.
+
+#include "bench_util.hpp"
+#include "topo/bdrmap_collect.hpp"
+
+int main() {
+  benchutil::print_header(
+      "Fig. 15 — Single in-network VP: accuracy (bdrmapIT vs bdrmap)");
+  std::printf(
+      "paper: both >= 0.9 accuracy; bdrmapIT >= bdrmap on every network.\n"
+      "The paper's ground truth is operator-validated bdrmap inferences, so\n"
+      "its accuracy is claim precision (P); coverage of all links visible in\n"
+      "the paths (C) additionally shows bdrmapIT mapping past the first\n"
+      "border, which the paper credits for its slight edge.\n\n");
+  std::printf("%-6s %-10s %7s | %10s %8s | %10s %8s\n", "data", "network", "links",
+              "bdrmapIT-P", "bdrmap-P", "bdrmapIT-C", "bdrmap-C");
+
+  // The paper reuses 2016 ground truth for Tier 1 / R&E 2 / L Access
+  // plus a 2018 Tier-1 dataset; we run all four networks on the 2016
+  // seed and Tier-1 again on the 2018 seed.
+  std::size_t wins = 0, total = 0;
+  for (const auto& ds : benchutil::itdk_datasets()) {
+    topo::SimParams params;
+    topo::Internet probe_net = topo::Internet::generate(params);
+    // Build the network list once per dataset from an identical topology.
+    auto networks = eval::validation_networks(probe_net);
+    for (const auto& [label, asn] : networks) {
+      if (ds.label == std::string("2018") && label != "Tier 1")
+        continue;  // 2018 ground truth exists only for the Tier 1 (paper)
+      const int as_idx = probe_net.as_index(asn);
+      eval::Scenario s = eval::make_single_vp_scenario(params, as_idx, ds.seed);
+      // Feed both tools the bdrmap-collected dataset — reactive
+      // re-probing plus VP-local alias resolution — exactly as the
+      // paper reused bdrmap's own runs (§7.1).
+      topo::BdrmapCollectOptions copt;
+      copt.seed = ds.seed;
+      topo::BdrmapCollection coll = topo::bdrmap_collect(s.net, as_idx, copt);
+      s.corpus = coll.traces;
+      s.vis = eval::observe(s.corpus);
+      const tracedata::AliasSets& aliases = coll.aliases;
+
+      core::Result bit = core::Bdrmapit::run(s.corpus, aliases, s.ip2as, s.rels);
+      auto bmap = baselines::Bdrmap::run(s.corpus, aliases, s.ip2as, s.rels, asn);
+
+      // Fig. 15's denominator is "links visible in the paths": accuracy
+      // is link-level correctness over those links (the operators
+      // validated their networks' own borders).
+      eval::EvalOptions opt;
+      opt.claims_on_true_links_only = true;
+      const auto mb =
+          eval::evaluate_network(s.net, s.gt, s.vis, bit.interfaces, asn, opt);
+      const auto mm = eval::evaluate_network(s.net, s.gt, s.vis, bmap, asn, opt);
+      std::printf("%-6s %-10s %7zu | %9.1f%% %7.1f%% | %9.1f%% %7.1f%%\n",
+                  ds.label, label.c_str(), mb.visible_links,
+                  100.0 * mb.precision(), 100.0 * mm.precision(),
+                  100.0 * mb.recall(), 100.0 * mm.recall());
+      ++total;
+      // Accuracy-and-coverage jointly: bdrmapIT must not lose on both.
+      if (mb.recall() >= mm.recall()) ++wins;
+    }
+  }
+  std::printf("\nbdrmapIT >= bdrmap on %zu/%zu networks (paper: 4/4)\n", wins, total);
+  return 0;
+}

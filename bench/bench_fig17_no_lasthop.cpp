@@ -1,0 +1,40 @@
+// bench_fig17_no_lasthop — reproduces paper Fig. 17.
+//
+// Fig. 16's comparison restricted to interdomain links seen in the
+// *middle* of traceroute paths (excluding links that only ever appear
+// as the last hop). This isolates bdrmapIT's advantage beyond the §5
+// destination heuristic.
+//
+// Paper result: bdrmapIT still substantially outperforms MAP-IT's
+// coverage (recall ~0.6-1.0 vs lower), with comparable precision.
+
+#include "bench_util.hpp"
+
+int main() {
+  benchutil::print_header(
+      "Fig. 17 — No in-network VP, links seen mid-path only (vs MAP-IT)");
+  std::printf("paper: bdrmapIT precision ~0.9+, recall well above MAP-IT\n\n");
+  std::printf("%-6s %-10s %7s | %10s %8s | %10s %8s\n", "data", "network", "links",
+              "bdrmapIT-P", "MAPIT-P", "bdrmapIT-R", "MAPIT-R");
+
+  eval::EvalOptions opt;
+  opt.exclude_last_hop_only = true;
+
+  for (const auto& ds : benchutil::itdk_datasets()) {
+    topo::SimParams params;
+    eval::Scenario s =
+        eval::make_scenario(params, ds.vps, /*exclude_validation=*/true, ds.seed);
+    core::Result bit = benchutil::run_bdrmapit(s);
+    auto mapit = baselines::MapIt::run(s.corpus, s.ip2as);
+
+    for (const auto& [label, asn] : eval::validation_networks(s.net)) {
+      const auto mb =
+          eval::evaluate_network(s.net, s.gt, s.vis, bit.interfaces, asn, opt);
+      const auto mm = eval::evaluate_network(s.net, s.gt, s.vis, mapit, asn, opt);
+      std::printf("%-6s %-10s %7zu | %9.1f%% %7.1f%% | %9.1f%% %7.1f%%\n", ds.label,
+                  label.c_str(), mb.visible_links, 100.0 * mb.precision(),
+                  100.0 * mm.precision(), 100.0 * mb.recall(), 100.0 * mm.recall());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// bench_fig19_visible_links — reproduces paper Fig. 19.
+//
+// Fraction of each validation network's interdomain links visible in
+// the traceroutes, for VP-set sizes {20, 40, 60, 80} (mean ± standard
+// error over five random VP sets).
+//
+// Paper result: visibility grows with the number of VPs (from roughly
+// 0.6-0.9 at 20 VPs toward 0.9+ at 80), even though accuracy over the
+// visible links stays flat (Fig. 18).
+
+#include "bench_util.hpp"
+
+int main() {
+  benchutil::print_header("Fig. 19 — Varying number of VPs: visible links");
+  std::printf("paper: fraction of visible links increases with #VPs\n\n");
+
+  topo::SimParams params;
+  eval::Scenario master = eval::make_scenario(params, 100, true, 2016);
+
+  std::printf("%-5s", "#VPs");
+  for (const auto& [label, asn] : eval::validation_networks(master.net))
+    std::printf(" | %-16s", label.c_str());
+  std::printf("\n");
+
+  for (std::size_t nvps : {20u, 40u, 60u, 80u}) {
+    std::unordered_map<netbase::Asn, benchutil::Mean> frac;
+    for (std::uint64_t set = 0; set < 5; ++set) {
+      netbase::SplitMix64 rng(0xF19 ^ (nvps * 131) ^ set);
+      std::vector<topo::VantagePoint> pool = master.vps;
+      std::vector<topo::VantagePoint> chosen;
+      for (std::size_t i = 0; i < nvps && !pool.empty(); ++i) {
+        const std::size_t j = rng.below(pool.size());
+        chosen.push_back(pool[j]);
+        pool[j] = pool.back();
+        pool.pop_back();
+      }
+      auto corpus = eval::filter_by_vps(master.corpus, chosen);
+      eval::Visibility vis = eval::observe(corpus);
+      for (const auto& [label, asn] : eval::validation_networks(master.net))
+        frac[asn].add(eval::visible_link_fraction(master.net, vis, asn));
+    }
+    std::printf("%-5zu", nvps);
+    for (const auto& [label, asn] : eval::validation_networks(master.net))
+      std::printf(" | %6.1f%% +- %4.1f%%", 100.0 * frac[asn].mean(),
+                  100.0 * frac[asn].stderr_());
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// bench_scale — Internet-scale behaviour (not a paper figure).
+//
+// The paper's pitch is operation "at Internet scale": the algorithm is
+// linear in the corpus and graph. This bench grows the synthetic
+// Internet across three sizes and reports corpus size, wall time for
+// graph construction + annotation, refinement iterations, and accuracy,
+// demonstrating that quality holds while cost scales linearly.
+
+#include <chrono>
+
+#include "bench_util.hpp"
+
+int main() {
+  benchutil::print_header("Scale — corpus growth vs runtime and accuracy");
+
+  struct Size {
+    const char* label;
+    topo::SimParams params;
+    std::size_t vps;
+  };
+  std::vector<Size> sizes;
+  {
+    Size s{"small", topo::small_params(), 20};
+    sizes.push_back(s);
+  }
+  {
+    Size s{"default", topo::SimParams{}, 60};
+    sizes.push_back(s);
+  }
+  {
+    topo::SimParams p;
+    p.tier1 = 10;
+    p.transit = 80;
+    p.regional = 200;
+    p.stub = 1000;
+    p.ixps = 16;
+    Size s{"large", p, 100};
+    sizes.push_back(s);
+  }
+
+  std::printf("%-8s %6s %9s %9s %6s %9s %10s %10s\n", "size", "ASes", "traces",
+              "ifaces", "iters", "map-time", "precision", "recall");
+  for (const auto& sz : sizes) {
+    eval::Scenario s = eval::make_scenario(sz.params, sz.vps, true, 2018);
+    const auto aliases = eval::midar_aliases(s);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    core::Result r = core::Bdrmapit::run(s.corpus, aliases, s.ip2as, s.rels);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+    double p = 0, rec = 0;
+    std::size_t n = 0;
+    for (const auto& [label, asn] : eval::validation_networks(s.net)) {
+      const auto m = eval::evaluate_network(s.net, s.gt, s.vis, r.interfaces, asn);
+      p += m.precision();
+      rec += m.recall();
+      ++n;
+    }
+    std::printf("%-8s %6zu %9zu %9zu %6d %7.0fms %9.1f%% %9.1f%%\n", sz.label,
+                s.net.ases().size(), s.corpus.size(), r.interfaces.size(),
+                r.iterations, ms, 100.0 * p / static_cast<double>(n),
+                100.0 * rec / static_cast<double>(n));
+  }
+  return 0;
+}

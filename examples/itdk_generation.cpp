@@ -1,0 +1,59 @@
+// examples/itdk_generation.cpp — producing ITDK-style router files.
+//
+// The paper's deployment (§1): bdrmapIT was incorporated into CAIDA's
+// Internet Topology Data Kit generation, which publishes, for each
+// inferred router, its member interfaces (.nodes) and its operating AS
+// (.nodes.as). This example runs the full pipeline on an Internet-wide
+// synthetic corpus and writes both files, then scores the .nodes.as
+// assignments against ground truth.
+//
+// Usage: itdk_generation [out_prefix] [n_vps] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/itdk.hpp"
+#include "eval/experiment.hpp"
+
+int main(int argc, char** argv) {
+  const std::string prefix = argc > 1 ? argv[1] : "itdk-out";
+  const std::size_t n_vps = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 50;
+  const std::uint64_t seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 2018;
+
+  eval::Scenario s = eval::make_scenario(topo::SimParams{}, n_vps, false, seed);
+  core::Result r =
+      core::Bdrmapit::run(s.corpus, eval::midar_aliases(s), s.ip2as, s.rels);
+
+  const auto nodes = core::itdk_nodes(r);
+  {
+    std::ofstream out(prefix + ".nodes");
+    core::write_itdk_nodes(out, nodes);
+  }
+  {
+    std::ofstream out(prefix + ".nodes.as");
+    core::write_itdk_nodes_as(out, nodes);
+  }
+
+  // Score ownership against simulator truth (routers whose interfaces
+  // all belong to one true router and were observed non-echo).
+  std::size_t scored = 0, correct = 0, by_refinement = 0, by_lasthop = 0;
+  for (const auto& n : nodes) {
+    if (n.asn == netbase::kNoAs) continue;
+    if (n.method == "refinement") ++by_refinement;
+    if (n.method == "last-hop") ++by_lasthop;
+    const auto* t = s.gt.truth(n.addrs.front());
+    if (!t) continue;
+    ++scored;
+    if (t->owner == n.asn) ++correct;
+  }
+  std::printf("wrote %s.nodes and %s.nodes.as\n", prefix.c_str(), prefix.c_str());
+  std::printf("%zu routers (%zu refined, %zu last-hop), ownership accuracy on "
+              "true interfaces: %.1f%% (%zu/%zu)\n",
+              nodes.size(), by_refinement, by_lasthop,
+              scored ? 100.0 * static_cast<double>(correct) /
+                           static_cast<double>(scored)
+                     : 0.0,
+              correct, scored);
+  return 0;
+}

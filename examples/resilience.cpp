@@ -1,0 +1,110 @@
+// examples/resilience.cpp — resilience assessment on the inferred map.
+//
+// One of the paper's motivating applications (§1: "resilience assessment
+// research could be extended to identify networks and links experiencing
+// congestion"): once bdrmapIT has produced an AS-level adjacency map
+// with router-resolution borders, downstream analysis can ask which
+// inferred interdomain links are critical.
+//
+// This example runs bdrmapIT Internet-wide, builds the inferred AS
+// graph, and ranks links by how many ASes get disconnected if the link
+// disappears (bridge analysis on the inferred topology), then checks the
+// worst offenders against the simulator's ground-truth adjacency.
+//
+// Usage: resilience [n_vps] [seed]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "eval/experiment.hpp"
+
+namespace {
+
+using netbase::Asn;
+using Edge = std::pair<Asn, Asn>;
+
+// Connected-component size count after removing one edge from an
+// undirected adjacency, seen from one endpoint.
+std::size_t stranded_if_removed(
+    const std::unordered_map<Asn, std::vector<Asn>>& adj, const Edge& cut) {
+  // BFS from cut.first without using the cut edge; nodes NOT reached
+  // are stranded relative to the component containing cut.first.
+  std::unordered_set<Asn> seen{cut.first};
+  std::vector<Asn> queue{cut.first};
+  while (!queue.empty()) {
+    const Asn cur = queue.back();
+    queue.pop_back();
+    for (Asn next : adj.at(cur)) {
+      if ((cur == cut.first && next == cut.second) ||
+          (cur == cut.second && next == cut.first))
+        continue;
+      if (seen.insert(next).second) queue.push_back(next);
+    }
+  }
+  // Total nodes in the component when the edge is intact:
+  std::unordered_set<Asn> full{cut.first};
+  std::vector<Asn> q2{cut.first};
+  while (!q2.empty()) {
+    const Asn cur = q2.back();
+    q2.pop_back();
+    for (Asn next : adj.at(cur))
+      if (full.insert(next).second) q2.push_back(next);
+  }
+  return full.size() - seen.size();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n_vps = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 60;
+  const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 4;
+
+  eval::Scenario s = eval::make_scenario(topo::SimParams{}, n_vps, false, seed);
+  core::Result r =
+      core::Bdrmapit::run(s.corpus, eval::midar_aliases(s), s.ip2as, s.rels);
+
+  // Inferred AS adjacency.
+  std::unordered_map<Asn, std::vector<Asn>> adj;
+  const auto links = r.as_links();
+  for (const auto& [a, b] : links) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::printf("inferred AS graph: %zu ASes, %zu links\n", adj.size(), links.size());
+
+  // Rank by stranded ASes when removed (single-edge cuts only).
+  std::vector<std::pair<std::size_t, Edge>> ranked;
+  for (const auto& e : links) {
+    const std::size_t stranded = stranded_if_removed(adj, e);
+    if (stranded > 0) ranked.emplace_back(stranded, e);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+
+  std::printf("\ncritical inferred links (single points of failure):\n");
+  std::printf("%-22s %10s %12s\n", "link", "stranded", "true link?");
+  std::size_t shown = 0, confirmed = 0;
+  for (const auto& [stranded, e] : ranked) {
+    const bool real = s.net.relationships().has_relationship(e.first, e.second);
+    if (real) ++confirmed;
+    if (shown++ < 12)
+      std::printf("AS%-8u-- AS%-8u %8zu %12s\n", e.first, e.second, stranded,
+                  real ? "yes" : "NO");
+  }
+  std::printf("\n%zu single-point-of-failure links; %zu/%zu confirmed against "
+              "ground-truth adjacency\n",
+              ranked.size(), confirmed, ranked.size());
+
+  // Stub multihoming summary: how many ASes the inferred map sees as
+  // single-homed (resilience exposure).
+  std::size_t single_homed = 0;
+  for (const auto& [asn, neighbors] : adj) {
+    std::unordered_set<Asn> distinct(neighbors.begin(), neighbors.end());
+    if (distinct.size() == 1) ++single_homed;
+  }
+  std::printf("%zu ASes appear single-homed in the inferred map\n", single_homed);
+  return 0;
+}

@@ -1,0 +1,166 @@
+#include "asrel/infer.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace asrel {
+namespace {
+
+std::pair<netbase::Asn, netbase::Asn> norm(netbase::Asn a, netbase::Asn b) noexcept {
+  return a < b ? std::pair{a, b} : std::pair{b, a};
+}
+
+}  // namespace
+
+void Inferencer::add_path(const std::vector<netbase::Asn>& path) {
+  // Compress prepending.
+  std::vector<netbase::Asn> p;
+  p.reserve(path.size());
+  for (netbase::Asn as : path)
+    if (p.empty() || p.back() != as) p.push_back(as);
+  if (p.size() < 2) {
+    ++rejected_;
+    return;
+  }
+  // Reject loops and reserved ASNs (path poisoning, confederations).
+  std::unordered_set<netbase::Asn> seen;
+  for (netbase::Asn as : p) {
+    if (netbase::is_reserved_asn(as) || !seen.insert(as).second) {
+      ++rejected_;
+      return;
+    }
+  }
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) ++adjacency_[norm(p[i], p[i + 1])];
+  paths_.push_back(std::move(p));
+}
+
+std::unordered_map<netbase::Asn, std::size_t> Inferencer::transit_degrees() const {
+  std::unordered_map<netbase::Asn, std::unordered_set<netbase::Asn>> neighbors;
+  for (const auto& p : paths_)
+    for (std::size_t i = 1; i + 1 < p.size(); ++i) {
+      neighbors[p[i]].insert(p[i - 1]);
+      neighbors[p[i]].insert(p[i + 1]);
+    }
+  std::unordered_map<netbase::Asn, std::size_t> out;
+  for (const auto& [as, n] : neighbors) out[as] = n.size();
+  return out;
+}
+
+bool Inferencer::adjacent(netbase::Asn a, netbase::Asn b) const noexcept {
+  return adjacency_.contains(norm(a, b));
+}
+
+std::vector<netbase::Asn> Inferencer::clique() const {
+  if (!options_.fixed_clique.empty()) {
+    auto out = options_.fixed_clique;
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  const auto degrees = transit_degrees();
+  std::vector<std::pair<std::size_t, netbase::Asn>> order;
+  order.reserve(degrees.size());
+  for (const auto& [as, d] : degrees) order.emplace_back(d, as);
+  // Highest transit degree first; ASN ascending for determinism.
+  std::sort(order.begin(), order.end(), [](const auto& x, const auto& y) {
+    return x.first != y.first ? x.first > y.first : x.second < y.second;
+  });
+  if (order.size() > options_.clique_candidates) order.resize(options_.clique_candidates);
+
+  std::vector<netbase::Asn> clique;
+  for (const auto& [d, as] : order) {
+    if (clique.size() >= options_.max_clique_size) break;
+    bool all_adjacent = true;
+    for (netbase::Asn member : clique)
+      if (!adjacent(as, member)) {
+        all_adjacent = false;
+        break;
+      }
+    if (all_adjacent) clique.push_back(as);
+  }
+  std::sort(clique.begin(), clique.end());
+  return clique;
+}
+
+RelStore Inferencer::infer() const {
+  const auto degrees = transit_degrees();
+  const auto clique_vec = clique();
+  const std::unordered_set<netbase::Asn> clique_set(clique_vec.begin(), clique_vec.end());
+
+  auto degree_of = [&](netbase::Asn as) -> std::size_t {
+    auto it = degrees.find(as);
+    return it == degrees.end() ? 0 : it->second;
+  };
+
+  // Vote on direction for each adjacency: key normalized (min,max);
+  // value = {votes that min is provider of max, votes that max is
+  // provider of min}.
+  std::unordered_map<std::pair<netbase::Asn, netbase::Asn>,
+                     std::pair<std::size_t, std::size_t>, PairHash>
+      votes;
+  auto vote_p2c = [&](netbase::Asn provider, netbase::Asn customer) {
+    auto key = norm(provider, customer);
+    auto& v = votes[key];
+    if (provider == key.first)
+      ++v.first;
+    else
+      ++v.second;
+  };
+
+  for (const auto& p : paths_) {
+    // Apex: first clique member on the path, else the AS with the
+    // highest transit degree (ties: earliest on path, matching the
+    // "uphill then downhill" valley-free shape).
+    std::size_t apex = 0;
+    bool found = false;
+    for (std::size_t i = 0; i < p.size(); ++i)
+      if (clique_set.contains(p[i])) {
+        apex = i;
+        found = true;
+        break;
+      }
+    if (!found) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < p.size(); ++i)
+        if (degree_of(p[i]) > degree_of(p[best])) best = i;
+      apex = best;
+    }
+    // Uphill: each AS before the apex is a customer of the next.
+    for (std::size_t i = 0; i + 1 <= apex; ++i) {
+      if (clique_set.contains(p[i]) && clique_set.contains(p[i + 1])) continue;
+      vote_p2c(p[i + 1], p[i]);
+    }
+    // Downhill: each AS after the apex is a customer of the previous.
+    for (std::size_t i = apex; i + 1 < p.size(); ++i) {
+      if (clique_set.contains(p[i]) && clique_set.contains(p[i + 1])) continue;
+      vote_p2c(p[i], p[i + 1]);
+    }
+  }
+
+  RelStore store;
+  for (std::size_t i = 0; i < clique_vec.size(); ++i)
+    for (std::size_t j = i + 1; j < clique_vec.size(); ++j)
+      if (adjacent(clique_vec[i], clique_vec[j]))
+        store.add_p2p(clique_vec[i], clique_vec[j]);
+
+  for (const auto& [pair, _] : adjacency_) {
+    if (clique_set.contains(pair.first) && clique_set.contains(pair.second)) continue;
+    auto it = votes.find(pair);
+    const std::size_t first_provider = it == votes.end() ? 0 : it->second.first;
+    const std::size_t second_provider = it == votes.end() ? 0 : it->second.second;
+    if (first_provider > 0 &&
+        static_cast<double>(first_provider) >=
+            options_.dominance * static_cast<double>(second_provider)) {
+      store.add_p2c(pair.first, pair.second);
+    } else if (second_provider > 0 &&
+               static_cast<double>(second_provider) >=
+                   options_.dominance * static_cast<double>(first_provider)) {
+      store.add_p2c(pair.second, pair.first);
+    } else {
+      store.add_p2p(pair.first, pair.second);
+    }
+  }
+  store.finalize();
+  return store;
+}
+
+}  // namespace asrel

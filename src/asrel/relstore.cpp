@@ -1,0 +1,107 @@
+#include "asrel/relstore.hpp"
+
+#include <algorithm>
+
+namespace asrel {
+namespace {
+const std::unordered_set<netbase::Asn> kEmptySet;
+}
+
+void RelStore::add_p2c(netbase::Asn provider, netbase::Asn customer) {
+  if (provider == customer) return;
+  if (adj_[provider].customers.insert(customer).second) ++p2c_count_;
+  adj_[customer].providers.insert(provider);
+  finalized_ = false;
+}
+
+void RelStore::add_p2p(netbase::Asn a, netbase::Asn b) {
+  if (a == b) return;
+  if (adj_[a].peers.insert(b).second) ++p2p_count_;
+  adj_[b].peers.insert(a);
+  finalized_ = false;
+}
+
+Rel RelStore::rel(netbase::Asn a, netbase::Asn b) const noexcept {
+  auto it = adj_.find(a);
+  if (it == adj_.end()) return Rel::none;
+  if (it->second.customers.contains(b)) return Rel::p2c;
+  if (it->second.providers.contains(b)) return Rel::c2p;
+  if (it->second.peers.contains(b)) return Rel::p2p;
+  return Rel::none;
+}
+
+const std::unordered_set<netbase::Asn>& RelStore::customers(netbase::Asn a) const noexcept {
+  auto it = adj_.find(a);
+  return it == adj_.end() ? kEmptySet : it->second.customers;
+}
+
+const std::unordered_set<netbase::Asn>& RelStore::providers(netbase::Asn a) const noexcept {
+  auto it = adj_.find(a);
+  return it == adj_.end() ? kEmptySet : it->second.providers;
+}
+
+const std::unordered_set<netbase::Asn>& RelStore::peers(netbase::Asn a) const noexcept {
+  auto it = adj_.find(a);
+  return it == adj_.end() ? kEmptySet : it->second.peers;
+}
+
+void RelStore::finalize() {
+  cones_.clear();
+  // Iterative post-order closure over the p2c DAG. Inferred data can
+  // contain p2c cycles; an in-progress marker breaks them (a cycle member
+  // simply doesn't absorb the not-yet-finished ancestor's cone).
+  enum class State : std::uint8_t { unvisited, in_progress, done };
+  std::unordered_map<netbase::Asn, State> state;
+  for (const auto& [as, _] : adj_) {
+    if (state[as] == State::done) continue;
+    std::vector<std::pair<netbase::Asn, bool>> stack{{as, false}};
+    while (!stack.empty()) {
+      auto [cur, expanded] = stack.back();
+      stack.pop_back();
+      if (expanded) {
+        auto& cone = cones_[cur];
+        cone.insert(cur);
+        for (netbase::Asn c : adj_.at(cur).customers) {
+          auto it = cones_.find(c);
+          if (it != cones_.end()) cone.insert(it->second.begin(), it->second.end());
+        }
+        state[cur] = State::done;
+        continue;
+      }
+      if (state[cur] == State::done) continue;
+      if (state[cur] == State::in_progress) continue;  // cycle edge
+      state[cur] = State::in_progress;
+      stack.emplace_back(cur, true);
+      auto it = adj_.find(cur);
+      if (it != adj_.end())
+        for (netbase::Asn c : it->second.customers)
+          if (state[c] == State::unvisited) stack.emplace_back(c, false);
+    }
+  }
+  finalized_ = true;
+}
+
+const std::unordered_set<netbase::Asn>& RelStore::cone(netbase::Asn a) const noexcept {
+  auto it = cones_.find(a);
+  return it == cones_.end() ? kEmptySet : it->second;
+}
+
+std::size_t RelStore::cone_size(netbase::Asn a) const noexcept {
+  const auto& c = cone(a);
+  return c.empty() ? 1 : c.size();
+}
+
+bool RelStore::in_cone(netbase::Asn a, netbase::Asn member) const noexcept {
+  if (a == member) return true;
+  return cone(a).contains(member);
+}
+
+std::vector<netbase::Asn> RelStore::ases() const {
+  std::vector<netbase::Asn> out;
+  out.reserve(adj_.size());
+  for (const auto& [as, _] : adj_) out.push_back(as);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace asrel

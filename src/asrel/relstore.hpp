@@ -1,0 +1,94 @@
+// asrel/relstore.hpp — AS relationship store and customer cones.
+//
+// bdrmapIT leans on AS relationships throughout: link-vote restriction
+// (§6.1.4), third-party detection (§6.1.1), the multihomed-customer and
+// multi-peer exceptions (§6.1.3), hidden-AS bridging (§6.1.5), and every
+// customer-cone tiebreak. RelStore holds the provider/customer/peer
+// adjacency and computes customer cones ("ASes reachable by customer
+// links", Luckie et al. 2013) with memoized closure.
+
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netbase/asn.hpp"
+
+namespace asrel {
+
+/// Directed relationship from a to b.
+enum class Rel : std::uint8_t {
+  none,  ///< no known relationship
+  p2c,   ///< a is provider of b
+  c2p,   ///< a is customer of b
+  p2p    ///< settlement-free peers
+};
+
+/// Immutable-after-finalize store of AS relationships.
+class RelStore {
+ public:
+  /// Records a provider→customer edge. Idempotent.
+  void add_p2c(netbase::Asn provider, netbase::Asn customer);
+
+  /// Records a peering edge. Idempotent.
+  void add_p2p(netbase::Asn a, netbase::Asn b);
+
+  /// Precomputes customer cones. Must be called after all edges are
+  /// added and before cone queries; relationship queries work anytime.
+  void finalize();
+
+  /// Relationship of `a` toward `b`.
+  Rel rel(netbase::Asn a, netbase::Asn b) const noexcept;
+
+  /// True if any relationship (p2c/c2p/p2p) exists between a and b.
+  bool has_relationship(netbase::Asn a, netbase::Asn b) const noexcept {
+    return rel(a, b) != Rel::none;
+  }
+
+  bool is_provider_of(netbase::Asn a, netbase::Asn b) const noexcept {
+    return rel(a, b) == Rel::p2c;
+  }
+  bool is_customer_of(netbase::Asn a, netbase::Asn b) const noexcept {
+    return rel(a, b) == Rel::c2p;
+  }
+  bool is_peer_of(netbase::Asn a, netbase::Asn b) const noexcept {
+    return rel(a, b) == Rel::p2p;
+  }
+
+  /// Direct neighbors by role; empty set if the AS is unknown.
+  const std::unordered_set<netbase::Asn>& customers(netbase::Asn a) const noexcept;
+  const std::unordered_set<netbase::Asn>& providers(netbase::Asn a) const noexcept;
+  const std::unordered_set<netbase::Asn>& peers(netbase::Asn a) const noexcept;
+
+  /// Size of a's customer cone, which always includes a itself (so a
+  /// stub AS has cone size 1). Unknown ASes also report 1.
+  std::size_t cone_size(netbase::Asn a) const noexcept;
+
+  /// True if `member` is inside a's customer cone (a itself counts).
+  bool in_cone(netbase::Asn a, netbase::Asn member) const noexcept;
+
+  /// All ASes with at least one recorded edge.
+  std::vector<netbase::Asn> ases() const;
+
+  std::size_t p2c_edges() const noexcept { return p2c_count_; }
+  std::size_t p2p_edges() const noexcept { return p2p_count_; }
+
+ private:
+  struct Adj {
+    std::unordered_set<netbase::Asn> customers;
+    std::unordered_set<netbase::Asn> providers;
+    std::unordered_set<netbase::Asn> peers;
+  };
+
+  const std::unordered_set<netbase::Asn>& cone(netbase::Asn a) const noexcept;
+
+  std::unordered_map<netbase::Asn, Adj> adj_;
+  std::unordered_map<netbase::Asn, std::unordered_set<netbase::Asn>> cones_;
+  std::size_t p2c_count_ = 0;
+  std::size_t p2p_count_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace asrel

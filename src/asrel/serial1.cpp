@@ -1,0 +1,61 @@
+#include "asrel/serial1.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asrel {
+
+std::size_t load_serial1(std::istream& in, RelStore& store) {
+  std::size_t malformed = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view s = line;
+    while (!s.empty() && (s.back() == '\r' || s.back() == ' ')) s.remove_suffix(1);
+    if (s.empty() || s.front() == '#') continue;
+    const std::size_t bar1 = s.find('|');
+    const std::size_t bar2 = bar1 == std::string_view::npos ? std::string_view::npos
+                                                            : s.find('|', bar1 + 1);
+    if (bar2 == std::string_view::npos) {
+      ++malformed;
+      continue;
+    }
+    std::size_t bar3 = s.find('|', bar2 + 1);  // optional source column
+    auto a = netbase::parse_asn(s.substr(0, bar1));
+    auto b = netbase::parse_asn(s.substr(bar1 + 1, bar2 - bar1 - 1));
+    std::string_view rel_field =
+        s.substr(bar2 + 1, bar3 == std::string_view::npos ? std::string_view::npos
+                                                          : bar3 - bar2 - 1);
+    if (!a || !b || (rel_field != "-1" && rel_field != "0")) {
+      ++malformed;
+      continue;
+    }
+    if (rel_field == "-1")
+      store.add_p2c(*a, *b);
+    else
+      store.add_p2p(*a, *b);
+  }
+  return malformed;
+}
+
+void write_serial1(std::ostream& out, const RelStore& store) {
+  out << "# <provider-as>|<customer-as>|-1\n# <peer-as>|<peer-as>|0\n";
+  std::vector<std::string> lines;
+  for (netbase::Asn a : store.ases()) {
+    std::vector<netbase::Asn> cs(store.customers(a).begin(), store.customers(a).end());
+    std::sort(cs.begin(), cs.end());
+    for (netbase::Asn c : cs)
+      lines.push_back(std::to_string(a) + "|" + std::to_string(c) + "|-1");
+    std::vector<netbase::Asn> ps(store.peers(a).begin(), store.peers(a).end());
+    std::sort(ps.begin(), ps.end());
+    for (netbase::Asn p : ps)
+      if (a < p) lines.push_back(std::to_string(a) + "|" + std::to_string(p) + "|0");
+  }
+  std::sort(lines.begin(), lines.end());
+  for (const auto& l : lines) out << l << '\n';
+}
+
+}  // namespace asrel

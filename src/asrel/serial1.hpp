@@ -1,0 +1,26 @@
+// asrel/serial1.hpp — CAIDA "serial-1" AS relationship file reader.
+//
+// Format (as published at data.caida.org/datasets/as-relationships):
+//   # comments
+//   <provider-as>|<customer-as>|-1        (transit)
+//   <peer-as>|<peer-as>|0                 (settlement-free peering)
+// A trailing "|bgp"/"|mlp" source column, present in newer files, is
+// accepted and ignored.
+
+#pragma once
+
+#include <iosfwd>
+
+#include "asrel/relstore.hpp"
+
+namespace asrel {
+
+/// Loads relationships into `store`. Returns the number of malformed
+/// lines. Does not call finalize().
+std::size_t load_serial1(std::istream& in, RelStore& store);
+
+/// Writes `store` in serial-1 format (each p2p edge once, lower ASN
+/// first).
+void write_serial1(std::ostream& out, const RelStore& store);
+
+}  // namespace asrel

@@ -1,0 +1,99 @@
+#include "bgp/delegations.hpp"
+
+#include <bit>
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace bgp {
+namespace {
+
+std::vector<std::string_view> split_pipe(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (true) {
+    std::size_t bar = s.find('|', pos);
+    out.push_back(s.substr(pos, bar == std::string_view::npos ? std::string_view::npos
+                                                              : bar - pos));
+    if (bar == std::string_view::npos) break;
+    pos = bar + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<netbase::Prefix> v4_range_to_prefixes(netbase::IPAddr start,
+                                                  std::uint64_t count) {
+  std::vector<netbase::Prefix> out;
+  std::uint64_t addr = start.v4_value();
+  while (count > 0 && addr <= 0xFFFFFFFFull) {
+    // Largest power-of-two block that is aligned at `addr` and fits in
+    // `count`.
+    const std::uint64_t align = addr == 0 ? (1ull << 32) : (addr & (~addr + 1));
+    std::uint64_t block = align < count ? align : count;
+    block = std::bit_floor(block);
+    const int len = 32 - std::countr_zero(block);
+    out.emplace_back(netbase::IPAddr::v4(static_cast<std::uint32_t>(addr)), len);
+    addr += block;
+    count -= block;
+  }
+  return out;
+}
+
+bool parse_delegation_line(std::string_view line, std::vector<Delegation>& out) {
+  while (!line.empty() && (line.back() == '\r' || line.back() == '\n'))
+    line.remove_suffix(1);
+  if (line.empty() || line.front() == '#') return false;
+
+  const auto f = split_pipe(line);
+  if (f.size() < 7) return false;  // header/summary lines have fewer fields
+  const std::string_view type = f[2];
+  if (type != "ipv4" && type != "ipv6") return false;
+  const std::string_view status = f[6];
+  if (status != "allocated" && status != "assigned") return false;
+  if (f.size() < 8) return false;  // need the opaque-id / AS column
+
+  auto asn = netbase::parse_asn(f[7]);
+  if (!asn || *asn == netbase::kNoAs) return false;
+
+  auto addr = netbase::IPAddr::parse(f[3]);
+  if (!addr) return false;
+
+  std::uint64_t value = 0;
+  auto [p, ec] = std::from_chars(f[4].data(), f[4].data() + f[4].size(), value);
+  if (ec != std::errc() || p != f[4].data() + f[4].size() || value == 0) return false;
+
+  if (type == "ipv4") {
+    if (!addr->is_v4()) return false;
+    for (const auto& prefix : v4_range_to_prefixes(*addr, value))
+      out.push_back({prefix, *asn});
+  } else {
+    if (!addr->is_v6() || value > 128) return false;
+    out.push_back({netbase::Prefix(*addr, static_cast<int>(value)), *asn});
+  }
+  return true;
+}
+
+std::vector<Delegation> read_delegations(std::istream& in) {
+  std::vector<Delegation> out;
+  std::string line;
+  while (std::getline(in, line)) parse_delegation_line(line, out);
+  return out;
+}
+
+void write_delegations(std::ostream& out, const std::vector<Delegation>& dels) {
+  out << "# registry|cc|type|start|value|date|status|as-id\n";
+  for (const auto& d : dels) {
+    if (d.prefix.family() == netbase::Family::v4) {
+      out << "sim|ZZ|ipv4|" << d.prefix.addr().to_string() << '|'
+          << d.prefix.v4_size() << "|20180201|allocated|" << d.asn << '\n';
+    } else {
+      out << "sim|ZZ|ipv6|" << d.prefix.addr().to_string() << '|'
+          << d.prefix.length() << "|20180201|allocated|" << d.asn << '\n';
+    }
+  }
+}
+
+}  // namespace bgp

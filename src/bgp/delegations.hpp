@@ -1,0 +1,52 @@
+// bgp/delegations.hpp — RIR extended allocation/assignment file reader.
+//
+// Not every prefix is visible in BGP; the paper (§4.1) supplements BGP
+// origins with RIR delegation data, "using the AS identifiers in the
+// extended delegation files", and applies them only where no BGP prefix
+// already covers the space. This reader parses the standard RIR
+// "extended" statistics exchange format:
+//
+//   registry|cc|type|start|value|date|status|opaque-id
+//
+// For ipv4 records, `value` is a host count that need not be a power of
+// two; such a block is decomposed into the minimal set of CIDR prefixes.
+// For ipv6 records, `value` is a prefix length. We accept a numeric ASN
+// in the opaque-id column (as our simulator writes, and as the paper's
+// pipeline assumes); records whose opaque-id is not numeric are skipped.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "netbase/asn.hpp"
+#include "netbase/prefix.hpp"
+
+namespace bgp {
+
+/// One delegated CIDR block attributed to an AS.
+struct Delegation {
+  netbase::Prefix prefix;
+  netbase::Asn asn = netbase::kNoAs;
+};
+
+/// Decomposes an IPv4 block [start, start+count) into minimal CIDR
+/// prefixes (the RIR format does not require power-of-two counts).
+std::vector<netbase::Prefix> v4_range_to_prefixes(netbase::IPAddr start,
+                                                  std::uint64_t count);
+
+/// Parses one extended-format line into zero or more delegations.
+/// Returns false on malformed/irrelevant lines (comments, summary lines,
+/// asn records, non-numeric opaque ids).
+bool parse_delegation_line(std::string_view line, std::vector<Delegation>& out);
+
+/// Reads a whole extended delegation file.
+std::vector<Delegation> read_delegations(std::istream& in);
+
+/// Writes delegations in the extended statistics exchange format (one
+/// CIDR block per line, ASN in the opaque-id column).
+void write_delegations(std::ostream& out, const std::vector<Delegation>& dels);
+
+}  // namespace bgp

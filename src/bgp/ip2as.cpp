@@ -1,0 +1,62 @@
+#include "bgp/ip2as.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <string>
+
+namespace bgp {
+
+std::vector<netbase::Prefix> Ip2AS::read_ixp_prefixes(std::istream& in) {
+  std::vector<netbase::Prefix> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view s = line;
+    while (!s.empty() && (s.back() == '\r' || s.back() == ' ')) s.remove_suffix(1);
+    while (!s.empty() && s.front() == ' ') s.remove_prefix(1);
+    if (s.empty() || s.front() == '#') continue;
+    if (auto p = netbase::Prefix::parse(s)) out.push_back(*p);
+  }
+  return out;
+}
+
+Ip2AS Ip2AS::build(const Rib& rib, const std::vector<Delegation>& delegations,
+                   const std::vector<netbase::Prefix>& ixp_prefixes) {
+  Ip2AS map;
+
+  for (const auto& [prefix, origins] : rib.origins()) {
+    if (origins.empty()) continue;
+    const netbase::Asn asn = *std::min_element(origins.begin(), origins.end());
+    map.trie_.insert(prefix, Entry{asn, OriginKind::bgp});
+    ++map.bgp_count_;
+  }
+
+  for (const auto& d : delegations) {
+    // Skip delegations covered by any BGP announcement (shortest-first
+    // scan over prefixes containing the delegation's network address).
+    bool covered = false;
+    map.trie_.all_matches(d.prefix.addr(), [&](const netbase::Prefix& p, const Entry& e) {
+      if (e.kind == OriginKind::bgp && p.length() <= d.prefix.length()) covered = true;
+    });
+    if (covered) continue;
+    if (map.trie_.find(d.prefix)) continue;  // keep first delegation for a prefix
+    map.trie_.insert(d.prefix, Entry{d.asn, OriginKind::rir});
+    ++map.rir_count_;
+  }
+
+  for (const auto& p : ixp_prefixes) {
+    map.ixp_trie_.insert(p, 1);
+    ++map.ixp_count_;
+  }
+  return map;
+}
+
+Origin Ip2AS::lookup(const netbase::IPAddr& a) const noexcept {
+  if (a.is_private()) return Origin{netbase::kNoAs, OriginKind::private_addr, {}};
+  if (auto hit = ixp_trie_.lookup(a))
+    return Origin{netbase::kNoAs, OriginKind::ixp, hit->first};
+  if (auto hit = trie_.lookup(a))
+    return Origin{hit->second->asn, hit->second->kind, hit->first};
+  return Origin{};
+}
+
+}  // namespace bgp

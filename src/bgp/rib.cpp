@@ -1,0 +1,193 @@
+#include "bgp/rib.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <istream>
+#include <ostream>
+
+namespace bgp {
+namespace {
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' || s.front() == '\r'))
+    s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+    s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < s.size() && s[j] != ' ' && s[j] != '\t') ++j;
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+// Parses an AS-path element: plain ASN or AS-set "{a,b,c}".
+bool parse_path_element(std::string_view tok, std::vector<netbase::Asn>& out) {
+  if (!tok.empty() && tok.front() == '{') {
+    if (tok.back() != '}') return false;
+    tok = tok.substr(1, tok.size() - 2);
+    std::size_t pos = 0;
+    while (pos <= tok.size()) {
+      std::size_t comma = tok.find(',', pos);
+      std::string_view part =
+          tok.substr(pos, comma == std::string_view::npos ? std::string_view::npos
+                                                          : comma - pos);
+      auto asn = netbase::parse_asn(part);
+      if (!asn) return false;
+      out.push_back(*asn);
+      if (comma == std::string_view::npos) break;
+      pos = comma + 1;
+    }
+    return !out.empty();
+  }
+  auto asn = netbase::parse_asn(tok);
+  if (!asn) return false;
+  out.push_back(*asn);
+  return true;
+}
+
+// Splits a prefix2as origin field "12_34" or "12,34" into ASNs.
+bool parse_origin_field(std::string_view field, std::vector<netbase::Asn>& out) {
+  std::size_t pos = 0;
+  while (pos <= field.size()) {
+    std::size_t sep = field.find_first_of(",_", pos);
+    std::string_view part =
+        field.substr(pos, sep == std::string_view::npos ? std::string_view::npos
+                                                        : sep - pos);
+    auto asn = netbase::parse_asn(part);
+    if (!asn) return false;
+    out.push_back(*asn);
+    if (sep == std::string_view::npos) break;
+    pos = sep + 1;
+  }
+  return !out.empty();
+}
+
+}  // namespace
+
+void Rib::add(Route r) {
+  auto& set = prefix_origins_[r.prefix];
+  for (netbase::Asn o : r.origins)
+    if (std::find(set.begin(), set.end(), o) == set.end()) set.push_back(o);
+  routes_.push_back(std::move(r));
+}
+
+bool Rib::add_line(std::string_view line, std::string* error) {
+  line = trim(line);
+  if (line.empty() || line.front() == '#') return false;
+
+  auto fail = [&](const char* why) {
+    if (error) *error = why;
+    return false;
+  };
+
+  // bgpdump one-line format: pipe-separated with a TABLE_DUMP marker.
+  if (line.rfind("TABLE_DUMP", 0) == 0) {
+    std::vector<std::string_view> f;
+    std::size_t pos = 0;
+    while (true) {
+      const std::size_t bar = line.find('|', pos);
+      f.push_back(line.substr(pos, bar == std::string_view::npos
+                                       ? std::string_view::npos
+                                       : bar - pos));
+      if (bar == std::string_view::npos) break;
+      pos = bar + 1;
+    }
+    if (f.size() < 7) return fail("short TABLE_DUMP2 line");
+    auto prefix = netbase::Prefix::parse(f[5]);
+    if (!prefix) return fail("malformed prefix");
+    Route r;
+    r.prefix = *prefix;
+    for (std::string_view tok : split_ws(f[6])) {
+      std::vector<netbase::Asn> element;
+      if (!parse_path_element(tok, element)) return fail("malformed AS path");
+      r.path.insert(r.path.end(), element.begin(), element.end());
+      r.origins = std::move(element);
+    }
+    if (r.origins.empty()) return fail("empty AS path");
+    add(std::move(r));
+    return true;
+  }
+
+  const auto tokens = split_ws(line);
+  if (tokens.size() < 2) return fail("expected at least a prefix and one ASN");
+
+  Route r;
+  if (tokens[0].find('/') != std::string_view::npos) {
+    // Path format.
+    auto prefix = netbase::Prefix::parse(tokens[0]);
+    if (!prefix) return fail("malformed prefix");
+    r.prefix = *prefix;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      std::vector<netbase::Asn> element;
+      if (!parse_path_element(tokens[i], element)) return fail("malformed AS path");
+      // AS sets mid-path are rare; flatten them into the path.
+      r.path.insert(r.path.end(), element.begin(), element.end());
+      if (i + 1 == tokens.size()) r.origins = std::move(element);
+    }
+  } else {
+    // prefix2as format: address length origin(s).
+    if (tokens.size() != 3) return fail("expected 'address length origins'");
+    auto addr = netbase::IPAddr::parse(tokens[0]);
+    if (!addr) return fail("malformed address");
+    int len = 0;
+    auto [p, ec] = std::from_chars(tokens[1].data(), tokens[1].data() + tokens[1].size(), len);
+    if (ec != std::errc() || p != tokens[1].data() + tokens[1].size() || len < 0 ||
+        len > addr->bits())
+      return fail("malformed length");
+    r.prefix = netbase::Prefix(*addr, len);
+    if (!parse_origin_field(tokens[2], r.origins)) return fail("malformed origins");
+  }
+  add(std::move(r));
+  return true;
+}
+
+std::size_t Rib::read(std::istream& in) {
+  std::size_t malformed = 0;
+  std::string line, error;
+  while (std::getline(in, line)) {
+    std::string_view view = line;
+    std::string_view trimmed = trim(view);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    error.clear();
+    if (!add_line(view, &error) && !error.empty()) ++malformed;
+  }
+  return malformed;
+}
+
+std::vector<std::vector<netbase::Asn>> Rib::paths() const {
+  std::vector<std::vector<netbase::Asn>> out;
+  out.reserve(routes_.size());
+  for (const auto& r : routes_)
+    if (!r.path.empty()) out.push_back(r.path);
+  return out;
+}
+
+void Rib::write(std::ostream& out) const {
+  out << "# BGP RIB: <prefix> <as-path...> | <addr> <len> <origins>\n";
+  for (const auto& r : routes_) {
+    if (!r.path.empty()) {
+      out << r.prefix.to_string();
+      for (netbase::Asn a : r.path) out << ' ' << a;
+      out << '\n';
+    } else {
+      out << r.prefix.addr().to_string() << ' ' << r.prefix.length();
+      out << ' ';
+      for (std::size_t i = 0; i < r.origins.size(); ++i) {
+        if (i) out << '_';
+        out << r.origins[i];
+      }
+      out << '\n';
+    }
+  }
+}
+
+}  // namespace bgp

@@ -1,0 +1,81 @@
+// bgp/rib.hpp — BGP routing-table ingestion.
+//
+// bdrmapIT derives each interface's *origin AS* from the longest matching
+// prefix announced in BGP, taking the last AS of the AS path as the
+// origin (paper §4.1). This module parses textual RIB dumps into
+// (prefix -> origin set) entries and collects the AS paths themselves,
+// which feed AS-relationship inference (asrel::Inferencer).
+//
+// Three line formats are accepted and auto-detected:
+//
+//   1. Path format (one route per line, '#' comments):
+//        <prefix> <asn> <asn> ... <asn>
+//      e.g. "203.0.113.0/24 3356 1299 64496". The last ASN is the origin.
+//      An AS-set origin "{a,b}" contributes every member as an origin.
+//
+//   2. CAIDA prefix2as format:
+//        <address>\t<length>\t<asn>[,<asn>...][_<asn>...]
+//      MOAS entries ("12_34" or "12,34") contribute every listed origin.
+//
+//   3. bgpdump one-line format (Routeviews/RIS MRT dumps through
+//      `bgpdump -m`):
+//        TABLE_DUMP2|<time>|B|<peer-ip>|<peer-as>|<prefix>|<as-path>|<origin>|...
+//      The AS path is space-separated, possibly ending in an AS set.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/asn.hpp"
+#include "netbase/prefix.hpp"
+
+namespace bgp {
+
+/// One parsed route: a prefix and the AS path that announced it.
+struct Route {
+  netbase::Prefix prefix;
+  std::vector<netbase::Asn> path;  ///< empty for prefix2as-format input
+  std::vector<netbase::Asn> origins;  ///< >=1 origin ASes (MOAS possible)
+};
+
+/// A parsed RIB: routes plus per-prefix aggregated origin sets.
+class Rib {
+ public:
+  /// Adds one route, merging origins into the per-prefix set.
+  void add(Route r);
+
+  /// Parses one line in either accepted format. Returns false (and leaves
+  /// the RIB unchanged) on malformed or comment/blank lines; `error` is
+  /// set only for malformed lines.
+  bool add_line(std::string_view line, std::string* error = nullptr);
+
+  /// Reads an entire stream; returns the number of malformed lines.
+  std::size_t read(std::istream& in);
+
+  const std::vector<Route>& routes() const noexcept { return routes_; }
+
+  /// Distinct origins per prefix, in insertion order without duplicates.
+  const std::unordered_map<netbase::Prefix, std::vector<netbase::Asn>>& origins()
+      const noexcept {
+    return prefix_origins_;
+  }
+
+  /// All AS paths (for relationship inference). Paths from prefix2as
+  /// input are absent.
+  std::vector<std::vector<netbase::Asn>> paths() const;
+
+  /// Writes every route in the path format ("prefix asn asn ...");
+  /// routes without paths are written in prefix2as form.
+  void write(std::ostream& out) const;
+
+ private:
+  std::vector<Route> routes_;
+  std::unordered_map<netbase::Prefix, std::vector<netbase::Asn>> prefix_origins_;
+};
+
+}  // namespace bgp

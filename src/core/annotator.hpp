@@ -1,0 +1,96 @@
+// core/annotator.hpp — bdrmapIT phases 2 and 3 (paper §5, §6).
+//
+// The Annotator owns the inference logic:
+//
+//   Phase 2 (§5) — IRs with no outgoing links ("last hops") are
+//   annotated once, from their origin AS sets and destination AS sets
+//   (Alg. 1), and frozen: those annotations rest on static metadata and
+//   are never revised by refinement.
+//
+//   Phase 3 (§6) — the graph refinement loop. Each iteration first
+//   annotates every remaining IR from its subsequent interfaces
+//   (Alg. 2 + Alg. 3: link-vote heuristics with IXP / unannounced /
+//   third-party handling, the reallocated-prefix correction, the
+//   multihomed-customer and multi-peer exceptions, restricted-set
+//   voting, and the hidden-AS check), then re-annotates every interface
+//   with the AS on the other side of its link (§6.2). The loop stops at
+//   a repeated state — detected by hashing the complete annotation
+//   vector, which also catches limit cycles — or at a safety cap.
+//
+// All reasoning is local: an IR looks only at its own metadata and the
+// current annotations of immediate neighbors; information travels
+// across the graph through iterations (Fig. 8, Fig. 14).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asrel/relstore.hpp"
+#include "graph/graph.hpp"
+
+namespace core {
+
+struct AnnotatorOptions {
+  int max_iterations = 64;  ///< safety cap on refinement iterations
+
+  // ---- ablation switches ----------------------------------------------
+  // Each disables one adapted heuristic, leaving the rest intact; the
+  // bench_ablation binary measures every switch's contribution. All
+  // default to the paper's full algorithm.
+  bool use_last_hop_dest = true;     ///< §5.2 destination-based last hops
+  bool use_third_party = true;       ///< §6.1.1 third-party address test
+  bool use_reallocated = true;       ///< §6.1.2 reallocated-prefix fix
+  bool use_exceptions = true;        ///< §6.1.3 multihomed / multi-peer
+  bool use_hidden_as = true;         ///< §6.1.5 hidden-AS bridging
+  bool use_link_class_filter = true; ///< §4.2 N-over-E-over-M vote filter
+};
+
+class Annotator {
+ public:
+  Annotator(graph::Graph& g, const asrel::RelStore& rels, AnnotatorOptions opt = {})
+      : g_(g), rels_(rels), opt_(opt) {}
+
+  /// Runs phase 2 then phase 3 to a repeated state.
+  void run();
+
+  /// Refinement iterations executed (phase 3).
+  int iterations() const noexcept { return iterations_; }
+
+  /// Per-iteration annotation churn (phase 3): how many IR and
+  /// interface annotations changed in each sweep. Monotone decrease to
+  /// zero is the typical convergence signature (§6.3).
+  struct IterationStats {
+    std::size_t changed_irs = 0;
+    std::size_t changed_ifaces = 0;
+  };
+  const std::vector<IterationStats>& iteration_stats() const noexcept {
+    return stats_;
+  }
+
+  // Exposed for unit tests of the individual heuristics.
+  void annotate_last_hops();                                     // §5
+  netbase::Asn last_hop_empty_dest(const graph::IR& ir) const;   // §5.1
+  netbase::Asn last_hop_with_dest(const graph::IR& ir) const;    // §5.2, Alg. 1
+  netbase::Asn annotate_ir(const graph::IR& ir) const;           // §6.1, Alg. 2
+  netbase::Asn link_vote(const graph::IR& ir, const graph::Link& l) const;  // Alg. 3
+  bool annotate_irs();         // one §6.1 sweep; true if any change
+  bool annotate_interfaces();  // one §6.2 sweep; true if any change
+
+ private:
+  /// Smallest customer cone, lowest ASN tiebreak.
+  netbase::Asn min_cone(const std::vector<netbase::Asn>& cands) const;
+
+  /// Highest vote count; ties by smallest cone, then lowest ASN.
+  netbase::Asn top_vote(const std::vector<std::pair<netbase::Asn, int>>& votes) const;
+
+  std::uint64_t state_hash() const;
+
+  graph::Graph& g_;
+  const asrel::RelStore& rels_;
+  AnnotatorOptions opt_;
+  int iterations_ = 0;
+  std::vector<IterationStats> stats_;
+};
+
+}  // namespace core

@@ -1,0 +1,42 @@
+#include "core/bdrmapit.hpp"
+
+#include <algorithm>
+
+namespace core {
+
+Result Bdrmapit::run(const std::vector<tracedata::Traceroute>& corpus,
+                     const tracedata::AliasSets& aliases, const bgp::Ip2AS& ip2as,
+                     const asrel::RelStore& rels, AnnotatorOptions opt) {
+  Result r;
+  r.graph = graph::Graph::build(corpus, aliases, ip2as, rels);
+  Annotator ann(r.graph, rels, opt);
+  ann.run();
+  r.iterations = ann.iterations();
+  r.iteration_stats = ann.iteration_stats();
+
+  r.interfaces.reserve(r.graph.interfaces().size());
+  for (const auto& f : r.graph.interfaces()) {
+    IfaceInference inf;
+    inf.router_as = r.graph.irs()[static_cast<std::size_t>(f.ir)].annotation;
+    inf.conn_as = f.annotation;
+    inf.ixp = f.origin.is_ixp();
+    inf.seen_non_echo = f.seen_non_echo;
+    inf.seen_mid_path = f.seen_mid_path;
+    r.interfaces.emplace(f.addr, inf);
+  }
+  return r;
+}
+
+std::vector<std::pair<netbase::Asn, netbase::Asn>> Result::as_links() const {
+  std::vector<std::pair<netbase::Asn, netbase::Asn>> out;
+  for (const auto& [addr, inf] : interfaces) {
+    if (!inf.interdomain()) continue;
+    auto p = std::minmax(inf.router_as, inf.conn_as);
+    out.emplace_back(p.first, p.second);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace core

@@ -1,0 +1,61 @@
+// core/bdrmapit.hpp — the public entry point: run bdrmapIT end to end.
+//
+// Usage:
+//   bgp::Ip2AS ip2as = bgp::Ip2AS::build(rib, delegations, ixp_prefixes);
+//   asrel::RelStore rels = ...;              // loaded or inferred
+//   core::Result r = core::Bdrmapit::run(traceroutes, aliases, ip2as, rels);
+//   for (const auto& [addr, inf] : r.interfaces) { ... }
+//
+// The Result exposes, for every observed interface address, the
+// inferred operator of its router and the AS inferred to be on the
+// other side of its link; an interdomain link is inferred wherever the
+// two differ (Fig. 3).
+
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "asrel/relstore.hpp"
+#include "bgp/ip2as.hpp"
+#include "core/annotator.hpp"
+#include "graph/graph.hpp"
+#include "tracedata/alias.hpp"
+#include "tracedata/traceroute.hpp"
+
+namespace core {
+
+/// Final inference for one observed interface address.
+struct IfaceInference {
+  netbase::Asn router_as = netbase::kNoAs;  ///< operator of the interface's IR
+  netbase::Asn conn_as = netbase::kNoAs;    ///< AS on the other side of the link
+  bool ixp = false;             ///< address inside an IXP prefix
+  bool seen_non_echo = false;   ///< replied with Time Exceeded / Unreachable
+  bool seen_mid_path = false;   ///< observed before the final hop somewhere
+
+  /// An interdomain link is inferred at this interface.
+  bool interdomain() const noexcept {
+    return router_as != netbase::kNoAs && conn_as != netbase::kNoAs &&
+           router_as != conn_as;
+  }
+};
+
+struct Result {
+  graph::Graph graph;  ///< fully annotated IR graph
+  int iterations = 0;  ///< refinement iterations to the repeated state
+  /// Annotation churn per refinement sweep (§6.3 convergence signature).
+  std::vector<Annotator::IterationStats> iteration_stats;
+  std::unordered_map<netbase::IPAddr, IfaceInference> interfaces;
+
+  /// Distinct inferred AS-level adjacencies (unordered pairs).
+  std::vector<std::pair<netbase::Asn, netbase::Asn>> as_links() const;
+};
+
+class Bdrmapit {
+ public:
+  static Result run(const std::vector<tracedata::Traceroute>& corpus,
+                    const tracedata::AliasSets& aliases, const bgp::Ip2AS& ip2as,
+                    const asrel::RelStore& rels, AnnotatorOptions opt = {});
+};
+
+}  // namespace core

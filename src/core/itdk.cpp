@@ -1,0 +1,44 @@
+#include "core/itdk.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace core {
+
+std::vector<ItdkNode> itdk_nodes(const Result& result) {
+  std::vector<ItdkNode> out;
+  out.reserve(result.graph.irs().size());
+  for (const auto& ir : result.graph.irs()) {
+    ItdkNode node;
+    node.node_id = ir.id + 1;
+    for (int fid : ir.ifaces)
+      node.addrs.push_back(
+          result.graph.interfaces()[static_cast<std::size_t>(fid)].addr);
+    std::sort(node.addrs.begin(), node.addrs.end());
+    node.asn = ir.annotation;
+    node.method = ir.annotation == netbase::kNoAs ? "unknown"
+                  : ir.last_hop                   ? "last-hop"
+                                                  : "refinement";
+    out.push_back(std::move(node));
+  }
+  return out;
+}
+
+void write_itdk_nodes(std::ostream& out, const std::vector<ItdkNode>& nodes) {
+  out << "# ITDK-style nodes file: node N<id>:  <addr> <addr> ...\n";
+  for (const auto& n : nodes) {
+    out << "node N" << n.node_id << ": ";
+    for (const auto& a : n.addrs) out << ' ' << a.to_string();
+    out << '\n';
+  }
+}
+
+void write_itdk_nodes_as(std::ostream& out, const std::vector<ItdkNode>& nodes) {
+  out << "# ITDK-style nodes.as file: node.AS N<id> <asn> <method>\n";
+  for (const auto& n : nodes) {
+    if (n.asn == netbase::kNoAs) continue;  // unmapped routers are omitted
+    out << "node.AS N" << n.node_id << ' ' << n.asn << ' ' << n.method << '\n';
+  }
+}
+
+}  // namespace core

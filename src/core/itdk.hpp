@@ -1,0 +1,43 @@
+// core/itdk.hpp — ITDK-style output (paper §1: "We have incorporated
+// bdrmapIT into CAIDA's ITDK generation process").
+//
+// CAIDA's Internet Topology Data Kit publishes router-to-AS assignments
+// in a ".nodes.as" file:
+//
+//   # comments
+//   node.AS N<id> <asn> <method>
+//
+// and the router membership itself in a ".nodes" file (written by
+// tracedata::AliasSets). This module derives both views from a
+// core::Result: one node per IR, the IR's inferred operator as its AS,
+// and a method tag describing which inference produced it.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/bdrmapit.hpp"
+
+namespace core {
+
+/// One ITDK node record.
+struct ItdkNode {
+  int node_id = 0;                       ///< N<id>, 1-based
+  std::vector<netbase::IPAddr> addrs;    ///< member interfaces
+  netbase::Asn asn = netbase::kNoAs;     ///< inferred operator
+  std::string method;                    ///< "bdrmapit", "last-hop", "unknown"
+};
+
+/// Extracts node records from a result (one per IR, interfaces in
+/// address order, nodes ordered by id == IR id + 1).
+std::vector<ItdkNode> itdk_nodes(const Result& result);
+
+/// Writes the ".nodes" file (router membership).
+void write_itdk_nodes(std::ostream& out, const std::vector<ItdkNode>& nodes);
+
+/// Writes the ".nodes.as" file (router ownership).
+void write_itdk_nodes_as(std::ostream& out, const std::vector<ItdkNode>& nodes);
+
+}  // namespace core

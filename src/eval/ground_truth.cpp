@@ -1,0 +1,38 @@
+#include "eval/ground_truth.hpp"
+
+namespace eval {
+
+GroundTruth::GroundTruth(const topo::Internet& net) {
+  for (std::size_t fid = 0; fid < net.ifaces().size(); ++fid) {
+    const auto& f = net.ifaces()[fid];
+    IfaceTruth t;
+    t.owner = net.owner_of_router(f.router);
+    t.ixp = f.ixp >= 0;
+    for (int far : net.far_routers(static_cast<int>(fid))) {
+      const netbase::Asn o = net.owner_of_router(far);
+      bool dup = false;
+      for (netbase::Asn x : t.others)
+        if (x == o) dup = true;
+      if (!dup) t.others.push_back(o);
+      if (o != t.owner) t.interdomain = true;
+    }
+    if (f.has_addr6) map_.emplace(f.addr6, t);  // dual-stack alias entry
+    map_.emplace(f.addr, std::move(t));
+  }
+}
+
+Visibility observe(const std::vector<tracedata::Traceroute>& corpus) {
+  Visibility v;
+  for (const auto& t : corpus) {
+    for (std::size_t k = 0; k < t.hops.size(); ++k) {
+      const auto& h = t.hops[k];
+      if (h.addr.is_private()) continue;
+      v.observed.insert(h.addr);
+      if (h.reply != tracedata::ReplyType::echo_reply) v.non_echo.insert(h.addr);
+      if (k + 1 < t.hops.size()) v.mid_path.insert(h.addr);
+    }
+  }
+  return v;
+}
+
+}  // namespace eval

@@ -1,0 +1,65 @@
+// eval/ground_truth.hpp — ground truth from the simulator.
+//
+// The paper validates against operator-provided ground truth for four
+// networks (a Tier-1, a large access network, two R&E networks). Our
+// simulator knows the truth exactly: which AS operates every router and
+// which AS sits on the far side of every interface. GroundTruth
+// extracts that into an address-keyed view the metrics code consumes.
+
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netbase/asn.hpp"
+#include "netbase/ip_addr.hpp"
+#include "topo/internet.hpp"
+#include "tracedata/traceroute.hpp"
+
+namespace eval {
+
+/// Truth about one interface address.
+struct IfaceTruth {
+  netbase::Asn owner = netbase::kNoAs;  ///< AS operating the router
+  /// AS(es) on the far side: exactly one for ptp links; one per peering
+  /// session for IXP member interfaces; empty for stray interfaces.
+  std::vector<netbase::Asn> others;
+  bool interdomain = false;  ///< some far side is a different AS
+  bool ixp = false;          ///< IXP fabric member interface
+
+  bool other_is(netbase::Asn a) const noexcept {
+    for (netbase::Asn o : others)
+      if (o == a) return true;
+    return false;
+  }
+};
+
+class GroundTruth {
+ public:
+  explicit GroundTruth(const topo::Internet& net);
+
+  /// Truth for an address; nullptr if it is not an interface.
+  const IfaceTruth* truth(const netbase::IPAddr& a) const noexcept {
+    auto it = map_.find(a);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  const std::unordered_map<netbase::IPAddr, IfaceTruth>& all() const noexcept {
+    return map_;
+  }
+
+ private:
+  std::unordered_map<netbase::IPAddr, IfaceTruth> map_;
+};
+
+/// What the corpus actually observed, per address.
+struct Visibility {
+  std::unordered_set<netbase::IPAddr> observed;
+  std::unordered_set<netbase::IPAddr> non_echo;  ///< replied TE/Unreachable
+  std::unordered_set<netbase::IPAddr> mid_path;  ///< seen before a final hop
+};
+
+Visibility observe(const std::vector<tracedata::Traceroute>& corpus);
+
+}  // namespace eval

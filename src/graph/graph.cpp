@@ -1,0 +1,202 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace graph {
+namespace {
+
+/// Table 3 label for the edge i -> j.
+LinkLabel classify(const Interface& i, const Interface& j, int hop_distance,
+                   tracedata::ReplyType j_reply) {
+  if (j_reply == tracedata::ReplyType::echo_reply)
+    return hop_distance == 1 ? LinkLabel::echo : LinkLabel::multihop;
+  const bool same_origin = i.origin.announced() && j.origin.announced() &&
+                           i.origin.asn == j.origin.asn;
+  if (same_origin || hop_distance == 1) return LinkLabel::nexthop;
+  return LinkLabel::multihop;
+}
+
+}  // namespace
+
+Graph Graph::build(const std::vector<tracedata::Traceroute>& corpus,
+                   const tracedata::AliasSets& aliases, const bgp::Ip2AS& ip2as,
+                   const asrel::RelStore& rels) {
+  Graph g;
+
+  // ---- Pass A: interfaces ---------------------------------------------
+  auto intern = [&](const netbase::IPAddr& addr) -> int {
+    auto [it, inserted] = g.addr_index_.emplace(addr, static_cast<int>(g.ifaces_.size()));
+    if (inserted) {
+      Interface f;
+      f.id = it->second;
+      f.addr = addr;
+      f.origin = ip2as.lookup(addr);
+      g.ifaces_.push_back(std::move(f));
+    }
+    return it->second;
+  };
+
+  for (const auto& t : corpus) {
+    for (std::size_t k = 0; k < t.hops.size(); ++k) {
+      const auto& h = t.hops[k];
+      if (h.addr.is_private()) continue;
+      Interface& f = g.ifaces_[static_cast<std::size_t>(intern(h.addr))];
+      if (h.reply != tracedata::ReplyType::echo_reply) f.seen_non_echo = true;
+      if (k + 1 < t.hops.size()) f.seen_mid_path = true;
+    }
+  }
+
+  // ---- IR assignment: alias groups, then singletons --------------------
+  std::unordered_map<std::size_t, int> alias_ir;  // alias set id -> IR id
+  auto ir_for = [&](Interface& f) {
+    if (f.ir >= 0) return f.ir;
+    const std::size_t set = aliases.find(f.addr);
+    if (set != tracedata::AliasSets::npos) {
+      auto [it, inserted] = alias_ir.emplace(set, static_cast<int>(g.irs_.size()));
+      if (inserted) {
+        IR ir;
+        ir.id = it->second;
+        g.irs_.push_back(std::move(ir));
+      }
+      f.ir = it->second;
+    } else {
+      f.ir = static_cast<int>(g.irs_.size());
+      IR ir;
+      ir.id = f.ir;
+      g.irs_.push_back(std::move(ir));
+    }
+    g.irs_[static_cast<std::size_t>(f.ir)].ifaces.push_back(f.id);
+    return f.ir;
+  };
+  for (auto& f : g.ifaces_) ir_for(f);
+
+  // ---- Pass B: links, origin AS sets, destination AS sets --------------
+  std::unordered_map<std::uint64_t, int> link_index;  // (ir, iface) -> link id
+  auto link_for = [&](int ir, int iface) -> Link& {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ir)) << 32) |
+        static_cast<std::uint32_t>(iface);
+    auto [it, inserted] = link_index.emplace(key, static_cast<int>(g.links_.size()));
+    if (inserted) {
+      Link l;
+      l.id = it->second;
+      l.ir = ir;
+      l.iface = iface;
+      g.links_.push_back(std::move(l));
+      g.irs_[static_cast<std::size_t>(ir)].out_links.push_back(it->second);
+      g.ifaces_[static_cast<std::size_t>(iface)].in_links.push_back(it->second);
+    }
+    return g.links_[static_cast<std::size_t>(it->second)];
+  };
+
+  for (const auto& t : corpus) {
+    const bgp::Origin dst_origin = ip2as.lookup(t.dst);
+    const netbase::Asn dest_asn = dst_origin.announced() ? dst_origin.asn : netbase::kNoAs;
+
+    // Responsive, non-private hops in order.
+    std::vector<std::size_t> idx;
+    for (std::size_t k = 0; k < t.hops.size(); ++k)
+      if (!t.hops[k].addr.is_private()) idx.push_back(k);
+    if (idx.empty()) continue;
+
+    // Interface destination AS sets (§4.4); skip the final hop when the
+    // traceroute ended in an Echo Reply.
+    if (dest_asn != netbase::kNoAs) {
+      for (std::size_t n = 0; n < idx.size(); ++n) {
+        const auto& h = t.hops[idx[n]];
+        if (n + 1 == idx.size() && h.reply == tracedata::ReplyType::echo_reply)
+          continue;
+        Interface& f = g.ifaces_[static_cast<std::size_t>(g.addr_index_.at(h.addr))];
+        set_insert(f.dest_asns, dest_asn);
+      }
+    }
+
+    for (std::size_t n = 0; n + 1 < idx.size(); ++n) {
+      const auto& hi = t.hops[idx[n]];
+      const auto& hj = t.hops[idx[n + 1]];
+      Interface& fi = g.ifaces_[static_cast<std::size_t>(g.addr_index_.at(hi.addr))];
+      Interface& fj = g.ifaces_[static_cast<std::size_t>(g.addr_index_.at(hj.addr))];
+      if (fi.ir == fj.ir) continue;  // alias-internal transition: not a link
+
+      Link& l = link_for(fi.ir, fj.id);
+      const int dist = hj.probe_ttl - hi.probe_ttl;
+      const LinkLabel label = classify(fi, fj, dist, hj.reply);
+      if (static_cast<std::uint8_t>(label) < static_cast<std::uint8_t>(l.label))
+        l.label = label;
+      if (fi.origin.announced()) set_insert(l.origin_set, fi.origin.asn);
+      if (dest_asn != netbase::kNoAs) set_insert(l.dest_asns, dest_asn);
+      l.prev_ifaces.insert(fi.id);
+    }
+  }
+
+  // ---- §4.4: reallocated-prefix correction on interface dest sets ------
+  for (auto& f : g.ifaces_) {
+    if (f.dest_asns.size() != 2 || !f.origin.announced()) continue;
+    netbase::Asn matching = netbase::kNoAs, other = netbase::kNoAs;
+    if (f.dest_asns[0] == f.origin.asn) {
+      matching = f.dest_asns[0];
+      other = f.dest_asns[1];
+    } else if (f.dest_asns[1] == f.origin.asn) {
+      matching = f.dest_asns[1];
+      other = f.dest_asns[0];
+    } else {
+      continue;
+    }
+    if (rels.cone_size(other) > 5) continue;
+    if (rels.has_relationship(matching, other)) continue;
+    // Aggregation hid the relationship: drop the reallocating provider
+    // (the AS with the larger customer cone).
+    const netbase::Asn drop =
+        rels.cone_size(matching) >= rels.cone_size(other) ? matching : other;
+    f.dest_asns.erase(std::find(f.dest_asns.begin(), f.dest_asns.end(), drop));
+  }
+
+  // ---- IR aggregates ----------------------------------------------------
+  for (auto& ir : g.irs_) {
+    for (int fid : ir.ifaces) {
+      const Interface& f = g.ifaces_[static_cast<std::size_t>(fid)];
+      if (f.origin.announced()) {
+        set_insert(ir.origin_set, f.origin.asn);
+        ++ir.origin_votes[f.origin.asn];
+      }
+      for (netbase::Asn d : f.dest_asns) set_insert(ir.dest_asns, d);
+    }
+    ir.last_hop = ir.out_links.empty();
+  }
+  return g;
+}
+
+GraphStats Graph::stats() const {
+  GraphStats s;
+  s.interfaces = ifaces_.size();
+  for (const auto& f : ifaces_)
+    if (f.origin.kind != bgp::OriginKind::none &&
+        f.origin.kind != bgp::OriginKind::private_addr)
+      ++s.interfaces_mapped;
+  s.irs = irs_.size();
+  for (const auto& l : links_) {
+    switch (l.label) {
+      case LinkLabel::nexthop: ++s.links_nexthop; break;
+      case LinkLabel::echo: ++s.links_echo; break;
+      case LinkLabel::multihop: ++s.links_multihop; break;
+    }
+  }
+  for (const auto& ir : irs_) {
+    if (ir.last_hop) {
+      ++s.last_hop_irs;
+      if (ir.dest_asns.empty()) ++s.last_hop_irs_empty_dest;
+      continue;
+    }
+    ++s.irs_with_links;
+    bool has_n = false, has_e = false;
+    for (int lid : ir.out_links) {
+      const LinkLabel lab = links_[static_cast<std::size_t>(lid)].label;
+      has_n |= lab == LinkLabel::nexthop;
+      has_e |= lab == LinkLabel::echo;
+    }
+    if (has_e && !has_n) ++s.irs_echo_only_links;
+  }
+  return s;
+}
+
+}  // namespace graph

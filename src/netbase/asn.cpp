@@ -1,0 +1,30 @@
+#include "netbase/asn.hpp"
+
+#include <charconv>
+
+namespace netbase {
+
+std::optional<Asn> parse_asn(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  const std::size_t dot = text.find('.');
+  if (dot != std::string_view::npos) {
+    // asdot: high16 "." low16
+    std::uint32_t hi = 0, lo = 0;
+    const char* p1 = text.data();
+    auto [e1, c1] = std::from_chars(p1, p1 + dot, hi);
+    if (c1 != std::errc() || e1 != p1 + dot || hi > 0xFFFF) return std::nullopt;
+    const char* p2 = text.data() + dot + 1;
+    const char* last = text.data() + text.size();
+    auto [e2, c2] = std::from_chars(p2, last, lo);
+    if (c2 != std::errc() || e2 != last || lo > 0xFFFF) return std::nullopt;
+    return (hi << 16) | lo;
+  }
+  std::uint64_t value = 0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last || value > 0xFFFFFFFFull) return std::nullopt;
+  return static_cast<Asn>(value);
+}
+
+}  // namespace netbase

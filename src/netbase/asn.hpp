@@ -1,0 +1,35 @@
+// netbase/asn.hpp — autonomous system number type and helpers.
+//
+// ASNs are plain 32-bit integers; 0 is reserved by IANA and doubles here
+// as "no AS" (kNoAs), e.g. for unannounced interface addresses.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace netbase {
+
+using Asn = std::uint32_t;
+
+/// Sentinel for "no origin AS" (unannounced address space). AS 0 is
+/// IANA-reserved and never appears as a real origin.
+inline constexpr Asn kNoAs = 0;
+
+/// True for ASNs that should never appear as a network operator:
+/// AS 0, AS_TRANS (23456), IANA-reserved and private-use ranges.
+constexpr bool is_reserved_asn(Asn a) noexcept {
+  return a == 0 || a == 23456 ||
+         (a >= 64496 && a <= 131071) ||      // doc/private/reserved 16-bit tail
+         a >= 4200000000u;                   // private-use 32-bit and above
+}
+
+/// Parses a decimal ASN, accepting the "asdot" form "X.Y" as well.
+std::optional<Asn> parse_asn(std::string_view text) noexcept;
+
+/// Formats an ASN as plain decimal.
+inline std::string asn_to_string(Asn a) { return std::to_string(a); }
+
+}  // namespace netbase

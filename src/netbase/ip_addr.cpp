@@ -1,0 +1,250 @@
+#include "netbase/ip_addr.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace netbase {
+namespace {
+
+// Parses a decimal byte (0-255) from the front of `s`, advancing it.
+std::optional<std::uint8_t> take_dec_octet(std::string_view& s) noexcept {
+  unsigned value = 0;
+  std::size_t n = 0;
+  while (n < s.size() && s[n] >= '0' && s[n] <= '9' && n < 3) {
+    value = value * 10 + static_cast<unsigned>(s[n] - '0');
+    ++n;
+  }
+  if (n == 0 || value > 255) return std::nullopt;
+  if (n > 1 && s[0] == '0') return std::nullopt;  // reject leading zeros
+  s.remove_prefix(n);
+  return static_cast<std::uint8_t>(value);
+}
+
+std::optional<std::array<std::uint8_t, 4>> parse_v4_bytes(std::string_view s) noexcept {
+  std::array<std::uint8_t, 4> out{};
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (s.empty() || s[0] != '.') return std::nullopt;
+      s.remove_prefix(1);
+    }
+    auto octet = take_dec_octet(s);
+    if (!octet) return std::nullopt;
+    out[static_cast<std::size_t>(i)] = *octet;
+  }
+  if (!s.empty()) return std::nullopt;
+  return out;
+}
+
+std::optional<unsigned> parse_hex_group(std::string_view g) noexcept {
+  if (g.empty() || g.size() > 4) return std::nullopt;
+  unsigned value = 0;
+  for (char c : g) {
+    unsigned digit;
+    if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A' + 10);
+    else return std::nullopt;
+    value = (value << 4) | digit;
+  }
+  return value;
+}
+
+std::optional<IPAddr> parse_v6(std::string_view s) noexcept {
+  // Split on "::" if present; each side is a ':'-separated list of hex
+  // groups, the right side optionally ending in an embedded IPv4 address.
+  std::array<std::uint16_t, 8> groups{};
+  int head = 0, tail = 0;
+  std::array<std::uint16_t, 8> tail_groups{};
+  bool saw_ellipsis = false;
+
+  auto consume_groups = [&](std::string_view part, bool is_tail) -> bool {
+    if (part.empty()) return true;
+    std::size_t pos = 0;
+    while (true) {
+      std::size_t next = part.find(':', pos);
+      std::string_view g = part.substr(pos, next == std::string_view::npos
+                                                ? std::string_view::npos
+                                                : next - pos);
+      bool last = next == std::string_view::npos;
+      if (last && g.find('.') != std::string_view::npos) {
+        auto v4 = parse_v4_bytes(g);
+        if (!v4) return false;
+        auto push = [&](std::uint16_t v) {
+          if (is_tail) {
+            if (tail >= 8) return false;
+            tail_groups[static_cast<std::size_t>(tail++)] = v;
+          } else {
+            if (head >= 8) return false;
+            groups[static_cast<std::size_t>(head++)] = v;
+          }
+          return true;
+        };
+        if (!push(static_cast<std::uint16_t>(((*v4)[0] << 8) | (*v4)[1]))) return false;
+        if (!push(static_cast<std::uint16_t>(((*v4)[2] << 8) | (*v4)[3]))) return false;
+      } else {
+        auto value = parse_hex_group(g);
+        if (!value) return false;
+        if (is_tail) {
+          if (tail >= 8) return false;
+          tail_groups[static_cast<std::size_t>(tail++)] = static_cast<std::uint16_t>(*value);
+        } else {
+          if (head >= 8) return false;
+          groups[static_cast<std::size_t>(head++)] = static_cast<std::uint16_t>(*value);
+        }
+      }
+      if (last) break;
+      pos = next + 1;
+    }
+    return true;
+  };
+
+  std::size_t ell = s.find("::");
+  if (ell != std::string_view::npos) {
+    saw_ellipsis = true;
+    if (s.find("::", ell + 1) != std::string_view::npos) return std::nullopt;
+    if (!consume_groups(s.substr(0, ell), false)) return std::nullopt;
+    if (!consume_groups(s.substr(ell + 2), true)) return std::nullopt;
+    if (head + tail > 7) return std::nullopt;  // "::" covers >= 1 group
+  } else {
+    if (!consume_groups(s, false)) return std::nullopt;
+    if (head != 8) return std::nullopt;
+  }
+
+  std::array<std::uint8_t, 16> bytes{};
+  for (int i = 0; i < head; ++i) {
+    bytes[static_cast<std::size_t>(2 * i)] = static_cast<std::uint8_t>(groups[static_cast<std::size_t>(i)] >> 8);
+    bytes[static_cast<std::size_t>(2 * i + 1)] = static_cast<std::uint8_t>(groups[static_cast<std::size_t>(i)]);
+  }
+  if (saw_ellipsis) {
+    for (int i = 0; i < tail; ++i) {
+      int slot = 8 - tail + i;
+      bytes[static_cast<std::size_t>(2 * slot)] = static_cast<std::uint8_t>(tail_groups[static_cast<std::size_t>(i)] >> 8);
+      bytes[static_cast<std::size_t>(2 * slot + 1)] = static_cast<std::uint8_t>(tail_groups[static_cast<std::size_t>(i)]);
+    }
+  }
+  return IPAddr::v6(bytes);
+}
+
+}  // namespace
+
+std::optional<IPAddr> IPAddr::parse(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  if (text.find(':') != std::string_view::npos) return parse_v6(text);
+  auto bytes = parse_v4_bytes(text);
+  if (!bytes) return std::nullopt;
+  return v4((static_cast<std::uint32_t>((*bytes)[0]) << 24) |
+            (static_cast<std::uint32_t>((*bytes)[1]) << 16) |
+            (static_cast<std::uint32_t>((*bytes)[2]) << 8) |
+            static_cast<std::uint32_t>((*bytes)[3]));
+}
+
+IPAddr IPAddr::must_parse(std::string_view text) {
+  auto a = parse(text);
+  if (!a) {
+    std::fprintf(stderr, "IPAddr::must_parse: malformed address '%.*s'\n",
+                 static_cast<int>(text.size()), text.data());
+    std::abort();
+  }
+  return *a;
+}
+
+IPAddr IPAddr::masked(int len) const noexcept {
+  IPAddr out = *this;
+  const int total = bits();
+  if (len < 0) len = 0;
+  if (len >= total) return out;
+  int byte = len >> 3;
+  const int rem = len & 7;
+  if (rem != 0) {
+    out.bytes_[static_cast<std::size_t>(byte)] &=
+        static_cast<std::uint8_t>(0xFFu << (8 - rem));
+    ++byte;
+  }
+  for (; byte < total >> 3; ++byte) out.bytes_[static_cast<std::size_t>(byte)] = 0;
+  return out;
+}
+
+bool IPAddr::matches(const IPAddr& other, int len) const noexcept {
+  if (family_ != other.family_) return false;
+  if (len <= 0) return true;
+  if (len > bits()) len = bits();
+  int full = len >> 3;
+  for (int i = 0; i < full; ++i)
+    if (bytes_[static_cast<std::size_t>(i)] != other.bytes_[static_cast<std::size_t>(i)]) return false;
+  int rem = len & 7;
+  if (rem == 0) return true;
+  const std::uint8_t mask = static_cast<std::uint8_t>(0xFFu << (8 - rem));
+  return (bytes_[static_cast<std::size_t>(full)] & mask) ==
+         (other.bytes_[static_cast<std::size_t>(full)] & mask);
+}
+
+std::string IPAddr::to_string() const {
+  char buf[64];
+  if (is_v4()) {
+    std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", bytes_[0], bytes_[1], bytes_[2],
+                  bytes_[3]);
+    return buf;
+  }
+  // RFC 5952: compress the longest run (>= 2) of zero groups.
+  std::uint16_t groups[8];
+  for (int i = 0; i < 8; ++i)
+    groups[i] = static_cast<std::uint16_t>((bytes_[static_cast<std::size_t>(2 * i)] << 8) |
+                                           bytes_[static_cast<std::size_t>(2 * i + 1)]);
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (groups[i] == 0) {
+      int j = i;
+      while (j < 8 && groups[j] == 0) ++j;
+      if (j - i > best_len) {
+        best_len = j - i;
+        best_start = i;
+      }
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  if (best_len < 2) best_start = -1;
+  std::string out;
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      out += "::";
+      i += best_len;
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof buf, "%x", groups[i]);
+    out += buf;
+    ++i;
+  }
+  if (out.empty()) out = "::";
+  return out;
+}
+
+bool IPAddr::is_private() const noexcept {
+  if (is_v4()) {
+    const std::uint32_t v = v4_value();
+    return (v >> 24) == 10 ||                      // 10/8
+           (v >> 20) == (172u << 4 | 1u) ||        // 172.16/12
+           (v >> 16) == (192u << 8 | 168u) ||      // 192.168/16
+           (v >> 24) == 127 ||                     // loopback
+           (v >> 16) == (169u << 8 | 254u);        // link-local
+  }
+  return (bytes_[0] & 0xFE) == 0xFC ||             // fc00::/7 (ULA)
+         (bytes_[0] == 0xFE && (bytes_[1] & 0xC0) == 0x80);  // fe80::/10
+}
+
+std::size_t IPAddr::hash() const noexcept {
+  std::size_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint8_t>(family_));
+  const int n = is_v4() ? 4 : 16;
+  for (int i = 0; i < n; ++i) mix(bytes_[static_cast<std::size_t>(i)]);
+  return h;
+}
+
+}  // namespace netbase

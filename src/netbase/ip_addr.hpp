@@ -1,0 +1,125 @@
+// netbase/ip_addr.hpp — IP address value type (IPv4 and IPv6).
+//
+// IPAddr stores either an IPv4 or an IPv6 address in a fixed 16-byte
+// buffer together with a family tag. It is a regular value type: cheap to
+// copy, totally ordered within a family, hashable, and convertible to and
+// from the conventional textual forms ("192.0.2.1", "2001:db8::1").
+//
+// bdrmapIT's evaluation operates on IPv4, but every layer above this one
+// (prefix matching, ip2as, the IR graph) is family-agnostic, so IPv6
+// traceroute corpora work unchanged.
+
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace netbase {
+
+/// Address family of an IPAddr.
+enum class Family : std::uint8_t { v4, v6 };
+
+/// Number of address bits for a family (32 or 128).
+constexpr int family_bits(Family f) noexcept { return f == Family::v4 ? 32 : 128; }
+
+/// An IPv4 or IPv6 address. Regular value type.
+class IPAddr {
+ public:
+  /// Default-constructs the IPv4 address 0.0.0.0.
+  constexpr IPAddr() noexcept : bytes_{}, family_(Family::v4) {}
+
+  /// Constructs an IPv4 address from a host-order 32-bit value.
+  static constexpr IPAddr v4(std::uint32_t host_order) noexcept {
+    IPAddr a;
+    a.family_ = Family::v4;
+    a.bytes_[0] = static_cast<std::uint8_t>(host_order >> 24);
+    a.bytes_[1] = static_cast<std::uint8_t>(host_order >> 16);
+    a.bytes_[2] = static_cast<std::uint8_t>(host_order >> 8);
+    a.bytes_[3] = static_cast<std::uint8_t>(host_order);
+    return a;
+  }
+
+  /// Constructs an IPv6 address from 16 network-order bytes.
+  static constexpr IPAddr v6(const std::array<std::uint8_t, 16>& bytes) noexcept {
+    IPAddr a;
+    a.family_ = Family::v6;
+    a.bytes_ = bytes;
+    return a;
+  }
+
+  /// Parses "a.b.c.d" or RFC 4291 IPv6 text. Returns nullopt on malformed
+  /// input; never throws.
+  static std::optional<IPAddr> parse(std::string_view text) noexcept;
+
+  /// Parses, aborting the program on malformed input. For literals in
+  /// tests and examples.
+  static IPAddr must_parse(std::string_view text);
+
+  constexpr Family family() const noexcept { return family_; }
+  constexpr bool is_v4() const noexcept { return family_ == Family::v4; }
+  constexpr bool is_v6() const noexcept { return family_ == Family::v6; }
+
+  /// Number of address bits (32 or 128).
+  constexpr int bits() const noexcept { return family_bits(family_); }
+
+  /// Host-order 32-bit value. Precondition: is_v4().
+  constexpr std::uint32_t v4_value() const noexcept {
+    return (static_cast<std::uint32_t>(bytes_[0]) << 24) |
+           (static_cast<std::uint32_t>(bytes_[1]) << 16) |
+           (static_cast<std::uint32_t>(bytes_[2]) << 8) |
+           static_cast<std::uint32_t>(bytes_[3]);
+  }
+
+  /// Raw network-order bytes; for v4 only the first 4 are meaningful.
+  constexpr const std::array<std::uint8_t, 16>& raw() const noexcept { return bytes_; }
+
+  /// Returns bit `i` of the address, counting from the most significant
+  /// bit (bit 0). Precondition: 0 <= i < bits().
+  constexpr unsigned bit(int i) const noexcept {
+    return (bytes_[static_cast<std::size_t>(i >> 3)] >> (7 - (i & 7))) & 1u;
+  }
+
+  /// Returns a copy with all bits after the first `len` cleared — the
+  /// network address of this address under a /len mask.
+  IPAddr masked(int len) const noexcept;
+
+  /// True if the first `len` bits of *this and `other` agree. Addresses
+  /// of different families never match.
+  bool matches(const IPAddr& other, int len) const noexcept;
+
+  /// Canonical text form ("192.0.2.1", "2001:db8::1").
+  std::string to_string() const;
+
+  /// True for addresses in RFC 1918 / RFC 4193 private space or loopback.
+  bool is_private() const noexcept;
+
+  friend constexpr bool operator==(const IPAddr& a, const IPAddr& b) noexcept {
+    return a.family_ == b.family_ && a.bytes_ == b.bytes_;
+  }
+  friend constexpr std::strong_ordering operator<=>(const IPAddr& a,
+                                                    const IPAddr& b) noexcept {
+    if (a.family_ != b.family_)
+      return a.family_ == Family::v4 ? std::strong_ordering::less
+                                     : std::strong_ordering::greater;
+    return a.bytes_ <=> b.bytes_;
+  }
+
+  /// FNV-1a hash over family + significant bytes.
+  std::size_t hash() const noexcept;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_;
+  Family family_;
+};
+
+}  // namespace netbase
+
+template <>
+struct std::hash<netbase::IPAddr> {
+  std::size_t operator()(const netbase::IPAddr& a) const noexcept { return a.hash(); }
+};

@@ -1,0 +1,33 @@
+#include "netbase/prefix.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace netbase {
+
+std::optional<Prefix> Prefix::parse(std::string_view text) noexcept {
+  const std::size_t slash = text.rfind('/');
+  if (slash == std::string_view::npos || slash + 1 >= text.size()) return std::nullopt;
+  auto addr = IPAddr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int len = 0;
+  const char* first = text.data() + slash + 1;
+  const char* last = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(first, last, len);
+  if (ec != std::errc() || ptr != last || len < 0 || len > addr->bits())
+    return std::nullopt;
+  return Prefix(*addr, len);
+}
+
+Prefix Prefix::must_parse(std::string_view text) {
+  auto p = parse(text);
+  if (!p) {
+    std::fprintf(stderr, "Prefix::must_parse: malformed prefix '%.*s'\n",
+                 static_cast<int>(text.size()), text.data());
+    std::abort();
+  }
+  return *p;
+}
+
+}  // namespace netbase

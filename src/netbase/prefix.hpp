@@ -1,0 +1,100 @@
+// netbase/prefix.hpp — CIDR prefix value type.
+//
+// A Prefix is an IPAddr plus a mask length, stored in canonical form
+// (host bits cleared). It supports containment tests, textual conversion
+// ("192.0.2.0/24", "2001:db8::/32"), and enumeration helpers used by the
+// topology simulator's address allocator.
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netbase/ip_addr.hpp"
+
+namespace netbase {
+
+/// A canonical CIDR prefix. Regular value type.
+class Prefix {
+ public:
+  /// Default-constructs 0.0.0.0/0.
+  constexpr Prefix() noexcept : addr_(), len_(0) {}
+
+  /// Constructs from an address and length; host bits are cleared.
+  /// Length is clamped to [0, addr.bits()].
+  Prefix(const IPAddr& addr, int len) noexcept
+      : addr_(addr.masked(clamp_len(addr, len))), len_(clamp_len(addr, len)) {}
+
+  /// Parses "addr/len". Returns nullopt on malformed input.
+  static std::optional<Prefix> parse(std::string_view text) noexcept;
+
+  /// Parses, aborting on malformed input. For literals in tests.
+  static Prefix must_parse(std::string_view text);
+
+  constexpr const IPAddr& addr() const noexcept { return addr_; }
+  constexpr int length() const noexcept { return len_; }
+  constexpr Family family() const noexcept { return addr_.family(); }
+
+  /// True if `a` falls inside this prefix.
+  bool contains(const IPAddr& a) const noexcept {
+    return addr_.matches(a, len_);
+  }
+
+  /// True if `other` is fully covered by this prefix (same or longer).
+  bool contains(const Prefix& other) const noexcept {
+    return other.len_ >= len_ && addr_.matches(other.addr_, len_);
+  }
+
+  /// Number of host addresses in an IPv4 prefix (2^(32-len)), saturating
+  /// at 2^32. Precondition: family() == Family::v4.
+  std::uint64_t v4_size() const noexcept {
+    return 1ull << (32 - len_);
+  }
+
+  /// The i-th address inside an IPv4 prefix. Precondition: v4 and
+  /// i < v4_size().
+  IPAddr v4_at(std::uint64_t i) const noexcept {
+    return IPAddr::v4(addr_.v4_value() + static_cast<std::uint32_t>(i));
+  }
+
+  /// Splits an IPv4 prefix into its two /len+1 halves; first element is
+  /// the low half. Precondition: v4 and length() < 32.
+  std::pair<Prefix, Prefix> v4_halves() const noexcept {
+    Prefix lo(addr_, len_ + 1);
+    Prefix hi(IPAddr::v4(addr_.v4_value() | (1u << (31 - len_))), len_ + 1);
+    return {lo, hi};
+  }
+
+  std::string to_string() const { return addr_.to_string() + "/" + std::to_string(len_); }
+
+  friend constexpr bool operator==(const Prefix& a, const Prefix& b) noexcept {
+    return a.len_ == b.len_ && a.addr_ == b.addr_;
+  }
+  friend constexpr std::strong_ordering operator<=>(const Prefix& a,
+                                                    const Prefix& b) noexcept {
+    if (auto c = a.addr_ <=> b.addr_; c != std::strong_ordering::equal) return c;
+    return a.len_ <=> b.len_;
+  }
+
+  std::size_t hash() const noexcept { return addr_.hash() * 31u + static_cast<std::size_t>(len_); }
+
+ private:
+  static constexpr int clamp_len(const IPAddr& a, int len) noexcept {
+    if (len < 0) return 0;
+    return len > a.bits() ? a.bits() : len;
+  }
+
+  IPAddr addr_;
+  int len_;
+};
+
+}  // namespace netbase
+
+template <>
+struct std::hash<netbase::Prefix> {
+  std::size_t operator()(const netbase::Prefix& p) const noexcept { return p.hash(); }
+};

@@ -1,0 +1,60 @@
+// netbase/rng.hpp — deterministic PRNG for simulators and benches.
+//
+// SplitMix64 is small, fast, and — unlike std::mt19937 seeded via
+// seed_seq — fully specified here, so every simulator run is reproducible
+// across standard libraries and platforms.
+
+#pragma once
+
+#include <cstdint>
+
+namespace netbase {
+
+/// SplitMix64 PRNG. Satisfies UniformRandomBitGenerator.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ull; }
+
+  constexpr result_type operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n). Precondition: n > 0. Uses rejection
+  /// sampling so results are unbiased and deterministic.
+  std::uint64_t below(std::uint64_t n) noexcept {
+    const std::uint64_t threshold = (~n + 1) % n;  // (2^64 - n) mod n
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool chance(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return static_cast<double>((*this)() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  /// Derives an independent child generator; useful to keep subsystem
+  /// streams decoupled so adding draws in one doesn't perturb another.
+  SplitMix64 fork() noexcept { return SplitMix64((*this)() ^ 0xA5A5A5A55A5A5A5Aull); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace netbase

@@ -1,0 +1,78 @@
+#include "topo/alias_sim.hpp"
+
+#include <algorithm>
+
+namespace topo {
+
+std::vector<std::vector<netbase::IPAddr>> AliasSimulator::observed_by_router() const {
+  std::vector<std::vector<netbase::IPAddr>> out(net_.routers().size());
+  for (const auto& f : net_.ifaces())
+    if (observed_.contains(f.addr))
+      out[static_cast<std::size_t>(f.router)].push_back(f.addr);
+  for (auto& v : out) std::sort(v.begin(), v.end());
+  return out;
+}
+
+tracedata::AliasSets AliasSimulator::midar_like(const AliasOptions& opt) const {
+  netbase::SplitMix64 rng(opt.seed ^ 0x3D1Au);
+  tracedata::AliasSets sets;
+  for (const auto& group : observed_by_router()) {
+    if (group.size() < 2) continue;
+    if (!rng.chance(opt.router_resolved_prob)) continue;
+    std::vector<netbase::IPAddr> kept;
+    for (const auto& a : group)
+      if (rng.chance(opt.iface_included_prob)) kept.push_back(a);
+    sets.add(kept);  // AliasSets drops singletons itself
+  }
+  return sets;
+}
+
+tracedata::AliasSets AliasSimulator::kapar_like(const AliasOptions& opt) const {
+  netbase::SplitMix64 rng(opt.seed ^ 0xCA9A5u);
+  auto by_router = observed_by_router();
+
+  // Union-find over routers: start correct, then falsely merge some
+  // link-adjacent pairs (kapar's analytical grouping overreaches).
+  std::vector<int> parent(net_.routers().size());
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<int>(i);
+  auto find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+
+  for (const auto& l : net_.links()) {
+    if (!rng.chance(opt.false_merge_prob)) continue;
+    const int ra = net_.ifaces()[static_cast<std::size_t>(l.a_iface)].router;
+    const int rb = net_.ifaces()[static_cast<std::size_t>(l.b_iface)].router;
+    parent[static_cast<std::size_t>(find(ra))] = find(rb);
+  }
+
+  std::unordered_map<int, std::vector<netbase::IPAddr>> merged;
+  for (std::size_t r = 0; r < by_router.size(); ++r) {
+    if (by_router[r].empty()) continue;
+    if (by_router[r].size() >= 2 && !rng.chance(opt.router_resolved_prob)) {
+      // Router not resolved by the probing stage; kapar still sees it if
+      // it was merged with another router (analysis, not probing).
+      if (find(static_cast<int>(r)) == static_cast<int>(r)) continue;
+    }
+    auto& group = merged[find(static_cast<int>(r))];
+    for (const auto& a : by_router[r])
+      if (rng.chance(opt.iface_included_prob)) group.push_back(a);
+  }
+
+  tracedata::AliasSets sets;
+  std::vector<std::pair<int, std::vector<netbase::IPAddr>>> ordered(merged.begin(),
+                                                                    merged.end());
+  std::sort(ordered.begin(), ordered.end());
+  for (auto& [root, group] : ordered) {
+    std::sort(group.begin(), group.end());
+    sets.add(group);
+  }
+  return sets;
+}
+
+}  // namespace topo

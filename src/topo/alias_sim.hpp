@@ -1,0 +1,62 @@
+// topo/alias_sim.hpp — simulated alias resolution (MIDAR/iffinder vs
+// kapar).
+//
+// Paper §7.4 contrasts two alias datasets: midar+iffinder (high
+// precision, conservative) and one that adds kapar (more aliases
+// grouped, but with false merges that fuse different physical routers —
+// sometimes across AS boundaries, which poisons bdrmapIT's single-AS-
+// per-router assumption). AliasSimulator produces both flavors from
+// ground truth, restricted to addresses actually observed in a corpus,
+// exactly as real alias resolution only covers probed interfaces.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "netbase/ip_addr.hpp"
+#include "topo/internet.hpp"
+#include "tracedata/alias.hpp"
+#include "tracedata/traceroute.hpp"
+
+namespace topo {
+
+struct AliasOptions {
+  /// Chance a (responsive, multi-interface) router is resolved at all.
+  double router_resolved_prob = 0.7;
+  /// Chance each observed interface of a resolved router is included.
+  double iface_included_prob = 0.9;
+  /// kapar-like only: chance an adjacent router pair is falsely merged.
+  double false_merge_prob = 0.02;
+  std::uint64_t seed = 7;
+};
+
+class AliasSimulator {
+ public:
+  AliasSimulator(const Internet& net, const std::vector<tracedata::Traceroute>& corpus)
+      : net_(net) {
+    for (const auto& t : corpus)
+      for (const auto& h : t.hops) observed_.insert(h.addr);
+  }
+
+  /// MIDAR+iffinder-like sets: correct groupings only.
+  tracedata::AliasSets midar_like(const AliasOptions& opt = {}) const;
+
+  /// kapar-like sets: midar groups plus false merges of routers that
+  /// share a link (the mistake mode the paper describes).
+  tracedata::AliasSets kapar_like(const AliasOptions& opt = {}) const;
+
+  const std::unordered_set<netbase::IPAddr>& observed() const noexcept {
+    return observed_;
+  }
+
+ private:
+  // Observed interface addresses per router id.
+  std::vector<std::vector<netbase::IPAddr>> observed_by_router() const;
+
+  const Internet& net_;
+  std::unordered_set<netbase::IPAddr> observed_;
+};
+
+}  // namespace topo

@@ -1,0 +1,50 @@
+// topo/bdrmap_collect.hpp — bdrmap's reactive data-collection component
+// (paper §2).
+//
+// bdrmap is not just an inference algorithm: its collection component
+// runs from the VP and reacts to what it sees —
+//
+//   * one traceroute toward every prefix routed in the Internet;
+//   * "additional traceroutes to different addresses within a single
+//     prefix if a prior traceroute might have found an off-path
+//     interface within the target AS" — detected here as a last
+//     responsive hop whose origin AS differs from the probed prefix's
+//     origin, or a path that never reached the target AS at all;
+//   * alias-resolution probing (Ally/Mercator-style) of the routers
+//     near the VP — the routers whose ownership bdrmap must decide.
+//
+// BdrmapCollector reproduces that behaviour against the simulator, so
+// the §7.1 regression (Fig. 15) feeds both tools the same
+// bdrmap-collected dataset, exactly as the paper did.
+
+#pragma once
+
+#include <cstdint>
+
+#include "topo/alias_sim.hpp"
+#include "topo/internet.hpp"
+#include "topo/tracer.hpp"
+
+namespace topo {
+
+struct BdrmapCollection {
+  VantagePoint vp;
+  std::vector<tracedata::Traceroute> traces;
+  tracedata::AliasSets aliases;  ///< VP-local alias resolution
+  std::size_t reactive_probes = 0;  ///< extra traceroutes triggered
+};
+
+struct BdrmapCollectOptions {
+  /// Extra targets probed in a prefix whose first probe looked off-path.
+  std::size_t reprobe_count = 2;
+  /// Alias resolution succeeds for this fraction of near-VP routers
+  /// (bdrmap probes them directly, so coverage is high).
+  double alias_resolved_prob = 0.9;
+  std::uint64_t seed = 2016;
+};
+
+/// Runs the bdrmap collection from a VP inside `as_idx`.
+BdrmapCollection bdrmap_collect(const Internet& net, int as_idx,
+                                const BdrmapCollectOptions& opt = {});
+
+}  // namespace topo

@@ -1,0 +1,868 @@
+#include "topo/internet.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace topo {
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max() / 4;
+
+std::uint64_t pair_key(int a, int b) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint32_t>(b);
+}
+
+// Mixes a 64-bit value; used for deterministic per-flow link selection.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Bump allocator over public IPv4 space, skipping reserved ranges.
+class V4Allocator {
+ public:
+  explicit V4Allocator(std::uint32_t start) : next_(start) {}
+
+  netbase::Prefix alloc(int len) {
+    const std::uint64_t size = 1ull << (32 - len);
+    std::uint64_t addr = (next_ + size - 1) / size * size;  // align up
+    for (;;) {
+      bool moved = false;
+      for (const auto& [base, rlen] : kReserved) {
+        const std::uint64_t rsize = 1ull << (32 - rlen);
+        if (addr < base + rsize && base < addr + size) {
+          addr = (base + rsize + size - 1) / size * size;
+          moved = true;
+        }
+      }
+      if (!moved) break;
+    }
+    assert(addr + size <= (1ull << 32) && "IPv4 pool exhausted");
+    next_ = addr + size;
+    return netbase::Prefix(netbase::IPAddr::v4(static_cast<std::uint32_t>(addr)), len);
+  }
+
+ private:
+  static constexpr std::pair<std::uint32_t, int> kReserved[] = {
+      {0x0A000000u, 8},   // 10/8
+      {0x7F000000u, 8},   // 127/8
+      {0xA9FE0000u, 16},  // 169.254/16
+      {0xAC100000u, 12},  // 172.16/12
+      {0xC0A80000u, 16},  // 192.168/16
+      {0xE0000000u, 3},   // 224/3
+  };
+  std::uint64_t next_;
+};
+
+}  // namespace
+
+// ======================================================================
+// Generation
+// ======================================================================
+
+class Generator {
+ public:
+  explicit Generator(const SimParams& params)
+      : p_(params), rng_(params.seed), pool_(0x01000000u /* 1.0.0.0 */) {
+    net_.params_ = params;
+  }
+
+  Internet build() {
+    make_ases();
+    make_relationships();
+    pick_validation();
+    make_addressing();
+    make_routers();
+    make_interdomain_links();
+    make_ixps();
+    net_.rels_.finalize();
+    assign_policies();
+    net_.build_routing();
+    return std::move(net_);
+  }
+
+ private:
+  std::size_t as_count() const {
+    return p_.tier1 + p_.transit + p_.regional + p_.stub;
+  }
+  AsTier tier_of(std::size_t i) const {
+    if (i < p_.tier1) return AsTier::tier1;
+    if (i < p_.tier1 + p_.transit) return AsTier::transit;
+    if (i < p_.tier1 + p_.transit + p_.regional) return AsTier::regional;
+    return AsTier::stub;
+  }
+
+  void make_ases() {
+    const std::size_t n = as_count();
+    net_.ases_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      AsNode& as = net_.ases_[i];
+      as.idx = static_cast<int>(i);
+      as.asn = static_cast<netbase::Asn>(100 + i);
+      as.tier = tier_of(i);
+      net_.asn_index_[as.asn] = as.idx;
+    }
+  }
+
+  std::vector<int> tier_indices(AsTier t) const {
+    std::vector<int> out;
+    for (const auto& as : net_.ases_)
+      if (as.tier == t) out.push_back(as.idx);
+    return out;
+  }
+
+  // Picks `k` distinct elements of `from` uniformly (k <= from.size()).
+  std::vector<int> pick_distinct(const std::vector<int>& from, std::size_t k) {
+    std::vector<int> pool = from;
+    std::vector<int> out;
+    for (std::size_t i = 0; i < k && !pool.empty(); ++i) {
+      const std::size_t j = rng_.below(pool.size());
+      out.push_back(pool[j]);
+      pool[j] = pool.back();
+      pool.pop_back();
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  void add_p2c(int provider, int customer) {
+    net_.rels_.add_p2c(net_.ases_[static_cast<std::size_t>(provider)].asn,
+                       net_.ases_[static_cast<std::size_t>(customer)].asn);
+    p2c_edges_.emplace_back(provider, customer);
+  }
+  void add_p2p(int a, int b) {
+    net_.rels_.add_p2p(net_.ases_[static_cast<std::size_t>(a)].asn,
+                       net_.ases_[static_cast<std::size_t>(b)].asn);
+    p2p_edges_.emplace_back(a, b);
+  }
+
+  void make_relationships() {
+    const auto tier1 = tier_indices(AsTier::tier1);
+    const auto transit = tier_indices(AsTier::transit);
+    const auto regional = tier_indices(AsTier::regional);
+    const auto stub = tier_indices(AsTier::stub);
+
+    for (std::size_t i = 0; i < tier1.size(); ++i)
+      for (std::size_t j = i + 1; j < tier1.size(); ++j) add_p2p(tier1[i], tier1[j]);
+
+    for (int t : transit) {
+      const std::size_t k = rng_.range(p_.transit_providers_min, p_.transit_providers_max);
+      for (int up : pick_distinct(tier1, k)) add_p2c(up, t);
+    }
+    for (std::size_t i = 0; i < transit.size(); ++i)
+      for (std::size_t j = i + 1; j < transit.size(); ++j)
+        if (rng_.chance(p_.transit_peer_prob)) add_p2p(transit[i], transit[j]);
+
+    for (int r : regional) {
+      const std::size_t k =
+          rng_.range(p_.regional_providers_min, p_.regional_providers_max);
+      const auto& up_pool = rng_.chance(0.2) ? tier1 : transit;
+      for (int up : pick_distinct(up_pool, k)) add_p2c(up, r);
+    }
+    for (std::size_t i = 0; i < regional.size(); ++i)
+      for (std::size_t j = i + 1; j < regional.size(); ++j)
+        if (rng_.chance(p_.regional_peer_prob)) add_p2p(regional[i], regional[j]);
+
+    for (int s : stub) {
+      const std::size_t k = rng_.range(p_.stub_providers_min, p_.stub_providers_max);
+      // Mostly regional/transit upstreams; large carriers also sell
+      // transit to edge networks directly, which is what makes Tier-1
+      // transit degrees dominate (AS-Rank's clique signal).
+      const double roll = static_cast<double>(rng_() >> 11) * (1.0 / 9007199254740992.0);
+      const auto& up_pool = roll < 0.12 ? tier1 : roll < 0.56 ? regional : transit;
+      for (int up : pick_distinct(up_pool, k)) add_p2c(up, s);
+    }
+  }
+
+  void pick_validation() {
+    // Tier-1 GT: the first tier-1. Large access: the transit AS with the
+    // most stub customers. R&E 1/2: the two regionals with the most
+    // customers (university-style customer trees).
+    net_.gt_tier1_ = 0;
+    std::unordered_map<int, std::size_t> stub_customers;
+    for (const auto& [prov, cust] : p2c_edges_)
+      if (net_.ases_[static_cast<std::size_t>(cust)].tier == AsTier::stub)
+        ++stub_customers[prov];
+    int best_transit = -1, best_re1 = -1, best_re2 = -1;
+    std::size_t bt = 0, br1 = 0, br2 = 0;
+    for (const auto& as : net_.ases_) {
+      const std::size_t c = stub_customers.count(as.idx) ? stub_customers[as.idx] : 0;
+      if (as.tier == AsTier::transit && (best_transit < 0 || c > bt)) {
+        best_transit = as.idx;
+        bt = c;
+      }
+      if (as.tier == AsTier::regional) {
+        if (best_re1 < 0 || c > br1) {
+          best_re2 = best_re1;
+          br2 = br1;
+          best_re1 = as.idx;
+          br1 = c;
+        } else if (best_re2 < 0 || c > br2) {
+          best_re2 = as.idx;
+          br2 = c;
+        }
+      }
+    }
+    net_.gt_access_ = best_transit;
+    net_.gt_re1_ = best_re1;
+    net_.gt_re2_ = best_re2;
+  }
+
+  int block_len(AsTier t) const {
+    switch (t) {
+      case AsTier::tier1: return p_.tier1_block_len;
+      case AsTier::transit: return p_.transit_block_len;
+      case AsTier::regional: return p_.regional_block_len;
+      case AsTier::stub: return p_.stub_block_len;
+    }
+    return p_.stub_block_len;
+  }
+
+  void make_addressing() {
+    for (auto& as : net_.ases_) {
+      as.block = pool_.alloc(block_len(as.tier));
+      as.announced = true;
+      infra_next_.push_back(as.block.addr().v4_value());
+      // Infrastructure bump pointer must stay in the lower half (hosts
+      // live in the upper half).
+      infra_end_.push_back(as.block.addr().v4_value() +
+                           static_cast<std::uint32_t>(as.block.v4_size() / 2));
+      if (as.tier != AsTier::stub && rng_.chance(p_.delegation_only_prob)) {
+        as.infra_block = pool_.alloc(22);
+        as.has_infra_block = true;
+        as.infra_block_delegated = true;
+      } else if (rng_.chance(p_.unannounced_infra_prob)) {
+        as.infra_block = pool_.alloc(23);
+        as.has_infra_block = true;
+        as.infra_block_delegated = false;  // dark space: in no registry
+      }
+      extra_next_.push_back(as.has_infra_block ? as.infra_block.addr().v4_value() : 0);
+      // Dual-stack: a systematic /32 per AS (2600:<1000+idx>::/32). All
+      // v6 infrastructure comes from the owner's announced block — the
+      // v4 side carries the dark/delegated-space artifacts.
+      std::array<std::uint8_t, 16> b6{};
+      b6[0] = 0x26;
+      b6[1] = 0x00;
+      const std::uint16_t hi = static_cast<std::uint16_t>(0x1000 + as.idx);
+      b6[2] = static_cast<std::uint8_t>(hi >> 8);
+      b6[3] = static_cast<std::uint8_t>(hi);
+      as.block6 = netbase::Prefix(netbase::IPAddr::v6(b6), 32);
+      infra6_next_.push_back(1);
+    }
+  }
+
+  // Allocates a 2^(32-len) aligned chunk from an AS's primary lower half.
+  std::uint32_t bump_primary(int as_idx, int len) {
+    auto& next = infra_next_[static_cast<std::size_t>(as_idx)];
+    const std::uint32_t size = 1u << (32 - len);
+    std::uint32_t addr = (next + size - 1) / size * size;
+    assert(addr + size <= infra_end_[static_cast<std::size_t>(as_idx)] &&
+           "AS infrastructure pool exhausted");
+    next = addr + size;
+    return addr;
+  }
+
+  std::uint32_t bump_extra(int as_idx, int len) {
+    auto& next = extra_next_[static_cast<std::size_t>(as_idx)];
+    const std::uint32_t size = 1u << (32 - len);
+    std::uint32_t addr = (next + size - 1) / size * size;
+    next = addr + size;
+    return addr;
+  }
+
+  int new_iface(const netbase::IPAddr& addr, int router) {
+    const int id = static_cast<int>(net_.ifaces_.size());
+    Iface f;
+    f.addr = addr;
+    f.router = router;
+    net_.ifaces_.push_back(f);
+    net_.routers_[static_cast<std::size_t>(router)].ifaces.push_back(id);
+    net_.addr_index_.emplace(addr, id);
+    return id;
+  }
+
+  // Dual-stack: attach an IPv6 address from `owner_as`'s v6 block.
+  void assign_v6(int iface, int owner_as) {
+    if (!p_.dual_stack) return;
+    auto base = net_.ases_[static_cast<std::size_t>(owner_as)].block6.addr().raw();
+    std::uint64_t n = infra6_next_[static_cast<std::size_t>(owner_as)]++;
+    for (int i = 15; i >= 8; --i) {
+      base[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(n);
+      n >>= 8;
+    }
+    Iface& f = net_.ifaces_[static_cast<std::size_t>(iface)];
+    f.addr6 = netbase::IPAddr::v6(base);
+    f.has_addr6 = true;
+    net_.addr_index_.emplace(f.addr6, iface);
+  }
+
+  // Creates a ptp link between two routers with the /31 (or /30) carved
+  // at `base`; `use_30` shifts host addresses to .1/.2. `owner_as` is
+  // the AS whose space numbers the link (v6 side follows it).
+  int new_ptp_link(int ra, int rb, std::uint32_t base, bool use_30, LinkKind kind,
+                   int owner_as) {
+    const std::uint32_t a_addr = use_30 ? base + 1 : base;
+    const std::uint32_t b_addr = use_30 ? base + 2 : base + 1;
+    const int ia = new_iface(netbase::IPAddr::v4(a_addr), ra);
+    const int ib = new_iface(netbase::IPAddr::v4(b_addr), rb);
+    assign_v6(ia, owner_as);
+    assign_v6(ib, owner_as);
+    const int id = static_cast<int>(net_.links_.size());
+    net_.links_.push_back(Link{id, kind, ia, ib, -1});
+    net_.ifaces_[static_cast<std::size_t>(ia)].link = id;
+    net_.ifaces_[static_cast<std::size_t>(ib)].link = id;
+    net_.routers_[static_cast<std::size_t>(ra)].links.push_back(id);
+    net_.routers_[static_cast<std::size_t>(rb)].links.push_back(id);
+    return id;
+  }
+
+  void make_routers() {
+    // Degree drives router count.
+    std::vector<std::size_t> degree(as_count(), 0);
+    for (const auto& [a, b] : p2c_edges_) {
+      ++degree[static_cast<std::size_t>(a)];
+      ++degree[static_cast<std::size_t>(b)];
+    }
+    for (const auto& [a, b] : p2p_edges_) {
+      ++degree[static_cast<std::size_t>(a)];
+      ++degree[static_cast<std::size_t>(b)];
+    }
+    for (auto& as : net_.ases_) {
+      const std::size_t want = 1 + degree[static_cast<std::size_t>(as.idx)] / 4;
+      const std::size_t count =
+          std::clamp(want, p_.routers_min, p_.routers_max);
+      for (std::size_t r = 0; r < count; ++r) {
+        const int id = static_cast<int>(net_.routers_.size());
+        net_.routers_.push_back(Router{id, as.idx, {}, {}, false, ReplyMode::ingress, -1});
+        as.routers.push_back(id);
+      }
+      // Internal topology: star to the hub plus a chain among spokes.
+      const bool dark = as.has_infra_block;
+      auto internal_base = [&](int len) {
+        return dark && rng_.chance(0.8) ? bump_extra(as.idx, len)
+                                        : bump_primary(as.idx, len);
+      };
+      for (std::size_t r = 1; r < as.routers.size(); ++r) {
+        new_ptp_link(as.routers[0], as.routers[r], internal_base(31), false,
+                     LinkKind::internal, as.idx);
+        if (r + 1 < as.routers.size())
+          new_ptp_link(as.routers[r], as.routers[r + 1], internal_base(31), false,
+                       LinkKind::internal, as.idx);
+      }
+    }
+  }
+
+  // Border router for a new interdomain attachment: spread round-robin.
+  int border_router(int as_idx) {
+    auto& as = net_.ases_[static_cast<std::size_t>(as_idx)];
+    const std::size_t i = border_rr_.emplace(as_idx, 0).first->second++ % as.routers.size();
+    return as.routers[i];
+  }
+
+  void register_pair(int a_as, int b_as, int link) {
+    net_.pair_links_[pair_key(a_as, b_as)].push_back(link);
+    net_.pair_links_[pair_key(b_as, a_as)].push_back(link);
+  }
+
+  void make_interdomain_links() {
+    for (const auto& [prov, cust] : p2c_edges_) {
+      auto& provider = net_.ases_[static_cast<std::size_t>(prov)];
+      const bool customer_is_stub =
+          net_.ases_[static_cast<std::size_t>(cust)].tier == AsTier::stub;
+
+      std::size_t nlinks = 1;
+      if (rng_.chance(p_.parallel_link_prob))
+        nlinks = rng_.range(2, p_.parallel_links_max);
+
+      // Reallocated /24: provider hands the customer a /24 and announces
+      // only the aggregate. Real deployments use it across several
+      // parallel links (paper Fig. 10), so force >= 2.
+      bool realloc = customer_is_stub && rng_.chance(p_.reallocated_prefix_prob);
+      std::uint32_t realloc_base = 0;
+      if (realloc) {
+        realloc_base = bump_primary(prov, 24);
+        provider.reallocated.emplace_back(netbase::IPAddr::v4(realloc_base), 24);
+        nlinks = std::max<std::size_t>(nlinks, 2);
+      }
+      std::uint32_t realloc_next = realloc_base;
+
+      for (std::size_t l = 0; l < nlinks; ++l) {
+        const bool use_30 = !realloc && rng_.chance(0.3);
+        std::uint32_t base;
+        int addr_owner = prov;
+        if (realloc) {
+          base = realloc_next;
+          realloc_next += 2;
+        } else if (rng_.chance(p_.customer_addressed_link_prob)) {
+          base = bump_primary(cust, use_30 ? 30 : 31);
+          addr_owner = cust;
+        } else {
+          base = bump_primary(prov, use_30 ? 30 : 31);
+        }
+        // Provider side gets the first address (industry convention).
+        const int link = new_ptp_link(border_router(prov), border_router(cust), base,
+                                      use_30, LinkKind::interdomain, addr_owner);
+        register_pair(prov, cust, link);
+      }
+    }
+
+    for (const auto& [a, b] : p2p_edges_) {
+      const bool use_30 = rng_.chance(0.3);
+      const int owner = rng_.chance(0.5) ? a : b;
+      const std::uint32_t base = bump_primary(owner, use_30 ? 30 : 31);
+      const int link = new_ptp_link(border_router(a), border_router(b), base, use_30,
+                                    LinkKind::interdomain, owner);
+      register_pair(a, b, link);
+    }
+  }
+
+  void make_ixps() {
+    V4Allocator ixp_pool(0xC6000000u);  // 198.0.0.0 upward for IXP fabrics
+    for (std::size_t x = 0; x < p_.ixps; ++x) {
+      IxpFabric fab;
+      fab.id = static_cast<int>(x);
+      fab.prefix = ixp_pool.alloc(24);
+      {
+        // 2001:7f8:<x>::/48, the RIPE IXP v6 convention.
+        std::array<std::uint8_t, 16> b6{};
+        b6[0] = 0x20;
+        b6[1] = 0x01;
+        b6[2] = 0x07;
+        b6[3] = 0xf8;
+        b6[4] = static_cast<std::uint8_t>(x >> 8);
+        b6[5] = static_cast<std::uint8_t>(x);
+        fab.prefix6 = netbase::Prefix(netbase::IPAddr::v6(b6), 48);
+      }
+
+      std::vector<int> members;
+      for (const auto& as : net_.ases_) {
+        const double p = as.tier == AsTier::tier1 ? 0.3
+                         : as.tier == AsTier::transit ? p_.ixp_membership_transit
+                         : as.tier == AsTier::regional ? p_.ixp_membership_regional
+                                                       : 0.0;
+        if (rng_.chance(p)) members.push_back(as.idx);
+      }
+      if (members.size() < 2) continue;
+
+      std::uint32_t host = fab.prefix.addr().v4_value() + 1;
+      std::uint64_t host6 = 1;
+      std::unordered_map<int, int> member_iface;  // as_idx -> iface
+      for (int m : members) {
+        const int iface = new_iface(netbase::IPAddr::v4(host++), border_router(m));
+        net_.ifaces_[static_cast<std::size_t>(iface)].ixp = fab.id;
+        if (p_.dual_stack) {
+          auto b6 = fab.prefix6.addr().raw();
+          std::uint64_t n = host6++;
+          for (int i = 15; i >= 8; --i) {
+            b6[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(n);
+            n >>= 8;
+          }
+          Iface& f = net_.ifaces_[static_cast<std::size_t>(iface)];
+          f.addr6 = netbase::IPAddr::v6(b6);
+          f.has_addr6 = true;
+          net_.addr_index_.emplace(f.addr6, iface);
+        }
+        fab.member_ifaces.push_back(iface);
+        member_iface[m] = iface;
+      }
+      for (std::size_t i = 0; i < members.size(); ++i)
+        for (std::size_t j = i + 1; j < members.size(); ++j) {
+          const int a = members[i], b = members[j];
+          // Don't peer over the fabric if a transit relationship exists.
+          if (net_.rels_.rel(net_.ases_[static_cast<std::size_t>(a)].asn,
+                             net_.ases_[static_cast<std::size_t>(b)].asn) ==
+                  asrel::Rel::p2c ||
+              net_.rels_.rel(net_.ases_[static_cast<std::size_t>(a)].asn,
+                             net_.ases_[static_cast<std::size_t>(b)].asn) ==
+                  asrel::Rel::c2p)
+            continue;
+          if (!rng_.chance(p_.ixp_peer_prob)) continue;
+          const int ia = member_iface[a], ib = member_iface[b];
+          const int id = static_cast<int>(net_.links_.size());
+          net_.links_.push_back(Link{id, LinkKind::ixp_session, ia, ib, fab.id});
+          fab.sessions.emplace_back(ia, ib);
+          net_.rels_.add_p2p(net_.ases_[static_cast<std::size_t>(a)].asn,
+                             net_.ases_[static_cast<std::size_t>(b)].asn);
+          if (std::find(p2p_edges_.begin(), p2p_edges_.end(), std::pair{a, b}) ==
+                  p2p_edges_.end() &&
+              std::find(p2p_edges_.begin(), p2p_edges_.end(), std::pair{b, a}) ==
+                  p2p_edges_.end())
+            p2p_edges_.emplace_back(a, b);
+          register_pair(a, b, id);
+        }
+      if (rng_.chance(p_.ixp_prefix_leak_prob)) {
+        fab.leaked_in_bgp = true;
+        fab.leaker =
+            net_.ases_[static_cast<std::size_t>(members[rng_.below(members.size())])].asn;
+      }
+      net_.ixps_.push_back(std::move(fab));
+    }
+  }
+
+  void assign_policies() {
+    for (auto& r : net_.routers_) {
+      if (rng_.chance(p_.router_silent_prob)) {
+        r.silent = true;
+        continue;
+      }
+      const double roll =
+          static_cast<double>(rng_() >> 11) * (1.0 / 9007199254740992.0);
+      if (roll < p_.router_egress_reply_prob) {
+        r.reply_mode = ReplyMode::egress_to_src;
+      } else if (roll < p_.router_egress_reply_prob + p_.router_other_reply_prob) {
+        // Loopback-style reply address: routers configured to answer
+        // with a fixed source use a router-id/loopback, which sits on
+        // no link. Allocated from the AS's own space.
+        r.reply_mode = ReplyMode::fixed_other;
+        const std::uint32_t lo = bump_primary(r.as_idx, 32);
+        r.fixed_reply_iface = new_iface(netbase::IPAddr::v4(lo), r.id);
+        assign_v6(r.fixed_reply_iface, r.as_idx);
+      }
+    }
+    for (auto& as : net_.ases_) {
+      if (as.tier != AsTier::stub) continue;
+      const double roll =
+          static_cast<double>(rng_() >> 11) * (1.0 / 9007199254740992.0);
+      if (roll < p_.dest_firewall_border_prob)
+        as.dest_policy = DestPolicy::firewall_border;
+      else if (roll < p_.dest_firewall_border_prob + p_.dest_silent_prob)
+        as.dest_policy = DestPolicy::silent;
+    }
+  }
+
+  SimParams p_;
+  netbase::SplitMix64 rng_;
+  V4Allocator pool_;
+  Internet net_;
+  std::vector<std::pair<int, int>> p2c_edges_;  // (provider, customer) idx
+  std::vector<std::pair<int, int>> p2p_edges_;
+  std::vector<std::uint32_t> infra_next_, infra_end_, extra_next_;
+  std::vector<std::uint64_t> infra6_next_;
+  std::unordered_map<int, std::size_t> border_rr_;
+};
+
+Internet Internet::generate(const SimParams& params) {
+  return Generator(params).build();
+}
+
+// ======================================================================
+// Queries
+// ======================================================================
+
+int Internet::as_index(netbase::Asn asn) const noexcept {
+  auto it = asn_index_.find(asn);
+  return it == asn_index_.end() ? -1 : it->second;
+}
+
+int Internet::iface_by_addr(const netbase::IPAddr& a) const noexcept {
+  auto it = addr_index_.find(a);
+  return it == addr_index_.end() ? -1 : it->second;
+}
+
+std::vector<int> Internet::far_routers(int iface) const {
+  const Iface& f = ifaces_[static_cast<std::size_t>(iface)];
+  std::vector<int> out;
+  if (f.link >= 0) {
+    const Link& l = links_[static_cast<std::size_t>(f.link)];
+    const int other = l.a_iface == iface ? l.b_iface : l.a_iface;
+    out.push_back(ifaces_[static_cast<std::size_t>(other)].router);
+  } else if (f.ixp >= 0) {
+    for (const auto& [a, b] : ixps_[static_cast<std::size_t>(f.ixp)].sessions) {
+      if (a == iface) out.push_back(ifaces_[static_cast<std::size_t>(b)].router);
+      if (b == iface) out.push_back(ifaces_[static_cast<std::size_t>(a)].router);
+    }
+  }
+  return out;
+}
+
+int Internet::iface_toward(int router, int neighbor_router) const noexcept {
+  const Router& r = routers_[static_cast<std::size_t>(router)];
+  for (int lid : r.links) {
+    const Link& l = links_[static_cast<std::size_t>(lid)];
+    if (l.kind == LinkKind::ixp_session) continue;
+    const int ia = l.a_iface, ib = l.b_iface;
+    const int ra = ifaces_[static_cast<std::size_t>(ia)].router;
+    const int rb = ifaces_[static_cast<std::size_t>(ib)].router;
+    if (ra == router && rb == neighbor_router) return ia;
+    if (rb == router && ra == neighbor_router) return ib;
+  }
+  for (int fid : r.ifaces) {
+    const Iface& f = ifaces_[static_cast<std::size_t>(fid)];
+    if (f.ixp < 0) continue;
+    for (const auto& [a, b] : ixps_[static_cast<std::size_t>(f.ixp)].sessions) {
+      if (a == fid && ifaces_[static_cast<std::size_t>(b)].router == neighbor_router)
+        return fid;
+      if (b == fid && ifaces_[static_cast<std::size_t>(a)].router == neighbor_router)
+        return fid;
+    }
+  }
+  return -1;
+}
+
+int Internet::exit_link(int s, int next, std::uint64_t flow_hash) const noexcept {
+  auto it = pair_links_.find(pair_key(s, next));
+  if (it == pair_links_.end() || it->second.empty()) return -1;
+  return it->second[mix64(flow_hash) % it->second.size()];
+}
+
+int Internet::intra_next_hop(int from_router, int to_router) const noexcept {
+  const int as = routers_[static_cast<std::size_t>(from_router)].as_idx;
+  const IntraTable& t = intra_[static_cast<std::size_t>(as)];
+  auto fi = t.local_index.find(from_router);
+  auto ti = t.local_index.find(to_router);
+  if (fi == t.local_index.end() || ti == t.local_index.end()) return -1;
+  return t.next[static_cast<std::size_t>(fi->second) * t.local.size() +
+                static_cast<std::size_t>(ti->second)];
+}
+
+int Internet::host_router(int as_idx, const netbase::IPAddr& dst) const noexcept {
+  const auto& routers = ases_[static_cast<std::size_t>(as_idx)].routers;
+  return routers[mix64(dst.hash()) % routers.size()];
+}
+
+netbase::IPAddr Internet::host_addr(int as_idx, std::uint64_t salt) const noexcept {
+  const AsNode& as = ases_[static_cast<std::size_t>(as_idx)];
+  const std::uint64_t size = as.block.v4_size();
+  const std::uint64_t half = size / 2;
+  return netbase::IPAddr::v4(as.block.addr().v4_value() +
+                             static_cast<std::uint32_t>(half + 2 + mix64(salt) % (half - 4)));
+}
+
+netbase::IPAddr Internet::host_addr6(int as_idx, std::uint64_t salt) const noexcept {
+  auto b6 = ases_[static_cast<std::size_t>(as_idx)].block6.addr().raw();
+  b6[6] = 0x80;  // host half of the /32, clear of infrastructure space
+  std::uint64_t n = mix64(salt) | 1;
+  for (int i = 15; i >= 8; --i) {
+    b6[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(n);
+    n >>= 8;
+  }
+  return netbase::IPAddr::v6(b6);
+}
+
+std::vector<int> Internet::as_path(int s, int d) const {
+  std::vector<int> path;
+  int cur = s;
+  path.push_back(cur);
+  while (cur != d) {
+    const int next = as_next_hop(cur, d);
+    if (next < 0 || path.size() > ases_.size()) return {};
+    path.push_back(next);
+    cur = next;
+  }
+  return path;
+}
+
+// ======================================================================
+// Routing
+// ======================================================================
+
+void Internet::build_routing() {
+  const std::size_t n = ases_.size();
+
+  // Sorted adjacency (by idx == ascending ASN) for deterministic ties.
+  std::vector<std::vector<int>> custs(n), provs(n), peers(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const netbase::Asn a = ases_[i].asn;
+    for (netbase::Asn c : rels_.customers(a)) custs[i].push_back(asn_index_.at(c));
+    for (netbase::Asn p : rels_.providers(a)) provs[i].push_back(asn_index_.at(p));
+    for (netbase::Asn q : rels_.peers(a)) peers[i].push_back(asn_index_.at(q));
+    std::sort(custs[i].begin(), custs[i].end());
+    std::sort(provs[i].begin(), provs[i].end());
+    std::sort(peers[i].begin(), peers[i].end());
+  }
+
+  nh_.assign(n * n, -1);
+  std::vector<int> custd(n), peerd(n), provd(n);
+
+  for (std::size_t d = 0; d < n; ++d) {
+    // Customer routes: BFS upward from d along customer->provider edges.
+    std::fill(custd.begin(), custd.end(), kInf);
+    custd[d] = 0;
+    std::queue<int> q;
+    q.push(static_cast<int>(d));
+    while (!q.empty()) {
+      const int c = q.front();
+      q.pop();
+      for (int p : provs[static_cast<std::size_t>(c)]) {
+        if (custd[static_cast<std::size_t>(p)] == kInf) {
+          custd[static_cast<std::size_t>(p)] = custd[static_cast<std::size_t>(c)] + 1;
+          q.push(p);
+        }
+      }
+    }
+
+    // Peer routes: one peer hop onto a customer route.
+    for (std::size_t s = 0; s < n; ++s) {
+      peerd[s] = kInf;
+      for (int qq : peers[s])
+        if (custd[static_cast<std::size_t>(qq)] != kInf)
+          peerd[s] = std::min(peerd[s], custd[static_cast<std::size_t>(qq)] + 1);
+    }
+
+    // Provider routes: providers export their best (class-preferred)
+    // route downward; iterate to fixpoint (diameters are small).
+    std::fill(provd.begin(), provd.end(), kInf);
+    auto exported_len = [&](std::size_t p) {
+      if (custd[p] != kInf) return custd[p];
+      if (peerd[p] != kInf) return peerd[p];
+      return provd[p];
+    };
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t s = 0; s < n; ++s) {
+        for (int p : provs[s]) {
+          const int len = exported_len(static_cast<std::size_t>(p));
+          if (len != kInf && len + 1 < provd[s]) {
+            provd[s] = len + 1;
+            changed = true;
+          }
+        }
+      }
+    }
+
+    // Pick next hops: customer > peer > provider, shortest within class,
+    // lowest neighbor idx (== lowest ASN) tiebreak.
+    for (std::size_t s = 0; s < n; ++s) {
+      if (s == d) continue;
+      int best = -1;
+      if (custd[s] != kInf) {
+        for (int c : custs[s])
+          if (custd[static_cast<std::size_t>(c)] + 1 == custd[s]) {
+            best = c;
+            break;
+          }
+      } else if (peerd[s] != kInf) {
+        for (int qq : peers[s])
+          if (custd[static_cast<std::size_t>(qq)] != kInf &&
+              custd[static_cast<std::size_t>(qq)] + 1 == peerd[s]) {
+            best = qq;
+            break;
+          }
+      } else if (provd[s] != kInf) {
+        for (int p : provs[s])
+          if (exported_len(static_cast<std::size_t>(p)) + 1 == provd[s]) {
+            best = p;
+            break;
+          }
+      }
+      nh_[s * n + d] = best;
+    }
+  }
+
+  // Intra-AS next-hop tables (BFS over internal links).
+  intra_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    IntraTable& t = intra_[i];
+    t.local = ases_[i].routers;
+    for (std::size_t k = 0; k < t.local.size(); ++k) t.local_index[t.local[k]] = static_cast<int>(k);
+    const std::size_t m = t.local.size();
+    t.next.assign(m * m, -1);
+
+    // Local adjacency via internal links.
+    std::vector<std::vector<int>> adj(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      for (int lid : routers_[static_cast<std::size_t>(t.local[k])].links) {
+        const Link& l = links_[static_cast<std::size_t>(lid)];
+        if (l.kind != LinkKind::internal) continue;
+        const int ra = ifaces_[static_cast<std::size_t>(l.a_iface)].router;
+        const int rb = ifaces_[static_cast<std::size_t>(l.b_iface)].router;
+        const int other = ra == t.local[k] ? rb : ra;
+        adj[k].push_back(t.local_index.at(other));
+      }
+    }
+    for (std::size_t src = 0; src < m; ++src) {
+      std::vector<int> parent(m, -1), dist(m, kInf);
+      dist[src] = 0;
+      std::queue<int> q;
+      q.push(static_cast<int>(src));
+      while (!q.empty()) {
+        const int u = q.front();
+        q.pop();
+        for (int v : adj[static_cast<std::size_t>(u)])
+          if (dist[static_cast<std::size_t>(v)] == kInf) {
+            dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+            parent[static_cast<std::size_t>(v)] = u;
+            q.push(v);
+          }
+      }
+      for (std::size_t dst = 0; dst < m; ++dst) {
+        if (dst == src || dist[dst] == kInf) continue;
+        // Walk back from dst to the first hop out of src.
+        std::size_t cur = dst;
+        while (parent[cur] != static_cast<int>(src)) cur = static_cast<std::size_t>(parent[cur]);
+        t.next[src * m + dst] = t.local[cur];
+      }
+    }
+  }
+}
+
+// ======================================================================
+// Exported views
+// ======================================================================
+
+bgp::Rib Internet::rib() const {
+  bgp::Rib out;
+  // Collector peers: all tier-1s, then transits, then regionals, up to
+  // the configured count — Routeviews/RIS peer with networks of every
+  // size, which is what makes peering links visible from both sides.
+  std::vector<int> collectors;
+  for (AsTier t : {AsTier::tier1, AsTier::transit, AsTier::regional}) {
+    for (const auto& as : ases_) {
+      if (collectors.size() >= params_.bgp_collector_peers) break;
+      if (as.tier == t) collectors.push_back(as.idx);
+    }
+  }
+
+  auto announce = [&](const netbase::Prefix& prefix, int origin_idx) {
+    for (int c : collectors) {
+      const auto idx_path = as_path(c, origin_idx);
+      if (idx_path.empty()) continue;
+      bgp::Route r;
+      r.prefix = prefix;
+      for (int i : idx_path) r.path.push_back(ases_[static_cast<std::size_t>(i)].asn);
+      r.origins = {ases_[static_cast<std::size_t>(origin_idx)].asn};
+      out.add(std::move(r));
+    }
+  };
+
+  for (const auto& as : ases_) {
+    if (as.announced) announce(as.block, as.idx);
+    if (params_.dual_stack) announce(as.block6, as.idx);
+  }
+  for (const auto& fab : ixps_)
+    if (fab.leaked_in_bgp) announce(fab.prefix, asn_index_.at(fab.leaker));
+  return out;
+}
+
+std::vector<bgp::Delegation> Internet::delegations() const {
+  std::vector<bgp::Delegation> out;
+  for (const auto& as : ases_) {
+    out.push_back({as.block, as.asn});
+    if (params_.dual_stack) out.push_back({as.block6, as.asn});
+    if (as.has_infra_block && as.infra_block_delegated)
+      out.push_back({as.infra_block, as.asn});
+    // Dark infra blocks appear in no registry at all.
+  }
+  return out;
+}
+
+std::vector<netbase::Prefix> Internet::ixp_prefixes() const {
+  std::vector<netbase::Prefix> out;
+  out.reserve(ixps_.size() * 2);
+  for (const auto& fab : ixps_) {
+    out.push_back(fab.prefix);
+    if (params_.dual_stack) out.push_back(fab.prefix6);
+  }
+  return out;
+}
+
+}  // namespace topo

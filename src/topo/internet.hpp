@@ -1,0 +1,228 @@
+// topo/internet.hpp — synthetic Internet: AS graph, routers, addressing,
+// policy routing, and export of the BGP/RIR/IXP views bdrmapIT consumes.
+//
+// This substrate replaces the paper's measurement inputs (see DESIGN.md
+// §2). Internet::generate builds, deterministically from a seed:
+//
+//   * an AS-level topology with a Tier-1 clique, transit, regional, and
+//     stub tiers, private peering, and multi-access IXP fabrics;
+//   * ground-truth customer/provider/peer relationships;
+//   * per-AS router-level topologies, with interdomain links numbered
+//     by industry convention from the provider's space — and, at tuned
+//     rates, the exceptions the paper's heuristics exist for
+//     (customer-addressed links, reallocated /24s announced only via the
+//     provider aggregate, RIR-delegated-only infrastructure blocks,
+//     fully unannounced "dark" infrastructure);
+//   * valley-free policy routing (customer > peer > provider, then
+//     shortest AS path) at the AS level and shortest-path forwarding
+//     inside each AS;
+//   * exportable views: a BGP RIB as seen from collector peers, RIR
+//     extended delegations, and an IXP prefix list.
+//
+// Per-router traceroute reply behaviour (silent routers, ingress vs
+// egress-to-source vs fixed-other reply addressing) and per-AS
+// destination policies (open, firewall-at-border, silent) are assigned
+// here and interpreted by topo::Tracer.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "asrel/relstore.hpp"
+#include "bgp/delegations.hpp"
+#include "bgp/rib.hpp"
+#include "netbase/asn.hpp"
+#include "netbase/ip_addr.hpp"
+#include "netbase/prefix.hpp"
+#include "netbase/rng.hpp"
+#include "topo/params.hpp"
+
+namespace topo {
+
+enum class AsTier : std::uint8_t { tier1, transit, regional, stub };
+
+/// How a router's control plane picks the source address of ICMP
+/// replies (the root cause of third-party addresses, paper §6.1.1).
+enum class ReplyMode : std::uint8_t {
+  ingress,        ///< address of the interface the probe arrived on
+  egress_to_src,  ///< address of the interface the reply leaves on
+  fixed_other     ///< a fixed unrelated interface (e.g. loopback-like)
+};
+
+/// How an AS treats traceroute probes destined into its space (§5).
+enum class DestPolicy : std::uint8_t {
+  open,             ///< internal routers and the destination all reply
+  firewall_border,  ///< border router replies; everything inside is silent
+  silent            ///< nothing inside the AS replies at all
+};
+
+enum class LinkKind : std::uint8_t { internal, interdomain, ixp_session };
+
+struct Iface {
+  netbase::IPAddr addr;
+  netbase::IPAddr addr6;   ///< dual-stack: parallel IPv6 address
+  bool has_addr6 = false;
+  int router = -1;
+  int link = -1;  ///< owning link; IXP member ifaces use their fabric's
+                  ///< sessions instead (link == -1, ixp >= 0)
+  int ixp = -1;
+};
+
+struct Router {
+  int id = -1;
+  int as_idx = -1;
+  std::vector<int> ifaces;        ///< iface ids on this router
+  std::vector<int> links;         ///< link ids incident to this router
+  bool silent = false;
+  ReplyMode reply_mode = ReplyMode::ingress;
+  int fixed_reply_iface = -1;     ///< for ReplyMode::fixed_other
+};
+
+struct Link {
+  int id = -1;
+  LinkKind kind = LinkKind::internal;
+  int a_iface = -1;  ///< for ixp_session: member iface of side a
+  int b_iface = -1;
+  int ixp = -1;
+};
+
+struct AsNode {
+  int idx = -1;
+  netbase::Asn asn = netbase::kNoAs;
+  AsTier tier = AsTier::stub;
+  netbase::Prefix block;            ///< primary (announced) block
+  netbase::Prefix block6;           ///< dual-stack: announced IPv6 block
+  bool announced = true;            ///< false: block only in RIR delegations
+  netbase::Prefix infra_block;      ///< extra infrastructure block, if any
+  bool has_infra_block = false;
+  bool infra_block_delegated = false;  ///< true: RIR-only; false: dark space
+  DestPolicy dest_policy = DestPolicy::open;
+  std::vector<int> routers;         ///< router ids, [0] is the "hub"
+  std::vector<netbase::Prefix> reallocated;  ///< /24s given to customers
+};
+
+struct IxpFabric {
+  int id = -1;
+  netbase::Prefix prefix;
+  netbase::Prefix prefix6;  ///< dual-stack: fabric IPv6 prefix
+  std::vector<int> member_ifaces;                 ///< one iface per member router
+  std::vector<std::pair<int, int>> sessions;      ///< iface-id pairs that peer
+  bool leaked_in_bgp = false;                     ///< a member originates it
+  netbase::Asn leaker = netbase::kNoAs;
+};
+
+/// The generated Internet. Immutable after generate().
+class Internet {
+ public:
+  static Internet generate(const SimParams& params);
+
+  const SimParams& params() const noexcept { return params_; }
+  const std::vector<AsNode>& ases() const noexcept { return ases_; }
+  const std::vector<Router>& routers() const noexcept { return routers_; }
+  const std::vector<Iface>& ifaces() const noexcept { return ifaces_; }
+  const std::vector<Link>& links() const noexcept { return links_; }
+  const std::vector<IxpFabric>& ixps() const noexcept { return ixps_; }
+
+  /// AS index by ASN; -1 if unknown.
+  int as_index(netbase::Asn asn) const noexcept;
+
+  netbase::Asn owner_of_router(int router) const noexcept {
+    return ases_[static_cast<std::size_t>(routers_[static_cast<std::size_t>(router)].as_idx)].asn;
+  }
+  netbase::Asn owner_of_iface(int iface) const noexcept {
+    return owner_of_router(ifaces_[static_cast<std::size_t>(iface)].router);
+  }
+
+  /// Iface id by address; -1 if no interface uses the address.
+  int iface_by_addr(const netbase::IPAddr& a) const noexcept;
+
+  /// Router on the far end of iface's link/sessions. For ptp links:
+  /// exactly one. For IXP member ifaces: one per session.
+  std::vector<int> far_routers(int iface) const;
+
+  /// The iface on `router` that faces `neighbor_router` (ptp link or IXP
+  /// session); -1 if not adjacent.
+  int iface_toward(int router, int neighbor_router) const noexcept;
+
+  // ---- validation networks (paper §7's four ground-truth networks) ----
+  int tier1_gt() const noexcept { return gt_tier1_; }
+  int large_access_gt() const noexcept { return gt_access_; }
+  int re1_gt() const noexcept { return gt_re1_; }
+  int re2_gt() const noexcept { return gt_re2_; }
+
+  // ---- routing --------------------------------------------------------
+  /// AS-level next hop from AS `s` toward AS `d` (indices); -1 when
+  /// unreachable or s == d.
+  int as_next_hop(int s, int d) const noexcept {
+    return nh_[static_cast<std::size_t>(s) * ases_.size() + static_cast<std::size_t>(d)];
+  }
+
+  /// Full AS-level path s..d inclusive; empty when unreachable.
+  std::vector<int> as_path(int s, int d) const;
+
+  /// The interdomain link used from AS `s` to AS `next`, load-shared by
+  /// `flow_hash` across parallel links; -1 if the ASes are not adjacent.
+  int exit_link(int s, int next, std::uint64_t flow_hash) const noexcept;
+
+  /// Router-level next hop inside an AS (both routers in the same AS).
+  int intra_next_hop(int from_router, int to_router) const noexcept;
+
+  /// Router that "hosts" destination addresses of this AS's block.
+  int host_router(int as_idx, const netbase::IPAddr& dst) const noexcept;
+
+  /// A probe-able host address inside the AS's announced block that is
+  /// guaranteed not to collide with any interface address.
+  netbase::IPAddr host_addr(int as_idx, std::uint64_t salt) const noexcept;
+
+  /// Dual-stack: a probe-able IPv6 host address in the AS's v6 block.
+  netbase::IPAddr host_addr6(int as_idx, std::uint64_t salt) const noexcept;
+
+  // ---- exported views -------------------------------------------------
+  /// BGP RIB as observed from `bgp_collector_peers` collector peers:
+  /// every announced prefix with the AS path from each peer.
+  bgp::Rib rib() const;
+
+  /// RIR extended delegations covering every allocated block (announced
+  /// or not), attributed to the holder's ASN.
+  std::vector<bgp::Delegation> delegations() const;
+
+  /// IXP prefix list (PeeringDB/PCH/EuroIX stand-in).
+  std::vector<netbase::Prefix> ixp_prefixes() const;
+
+  /// Ground-truth relationships (finalized).
+  const asrel::RelStore& relationships() const noexcept { return rels_; }
+
+ private:
+  friend class Generator;
+
+  void build_routing();
+
+  SimParams params_;
+  std::vector<AsNode> ases_;
+  std::vector<Router> routers_;
+  std::vector<Iface> ifaces_;
+  std::vector<Link> links_;
+  std::vector<IxpFabric> ixps_;
+  asrel::RelStore rels_;
+
+  std::unordered_map<netbase::Asn, int> asn_index_;
+  std::unordered_map<netbase::IPAddr, int> addr_index_;
+  // (as_idx_a << 32 | as_idx_b) -> link ids connecting the pair.
+  std::unordered_map<std::uint64_t, std::vector<int>> pair_links_;
+  std::vector<int> nh_;  ///< N*N AS-level next hops
+  // Per-AS dense intra next-hop matrices (routers are few per AS).
+  struct IntraTable {
+    std::vector<int> local;                   ///< router ids
+    std::unordered_map<int, int> local_index; ///< router id -> local idx
+    std::vector<int> next;                    ///< local NxN next-hop (router ids)
+  };
+  std::vector<IntraTable> intra_;
+
+  int gt_tier1_ = -1, gt_access_ = -1, gt_re1_ = -1, gt_re2_ = -1;
+};
+
+}  // namespace topo

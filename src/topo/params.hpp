@@ -1,0 +1,119 @@
+// topo/params.hpp — knobs for the synthetic Internet.
+//
+// The simulator replaces the paper's unavailable inputs (CAIDA ITDK
+// traceroutes, Routeviews/RIS BGP tables, RIR delegations, IXP prefix
+// lists, operator ground truth). Every probability below corresponds to
+// a traceroute/addressing artifact that a specific bdrmapIT heuristic
+// targets; the defaults are tuned so each heuristic is exercised at
+// rates comparable to those the paper reports (e.g. ~0.1% unannounced
+// addresses, ~96% nexthop-labeled links).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace topo {
+
+struct SimParams {
+  // ---- AS-level structure -------------------------------------------
+  std::size_t tier1 = 8;        ///< Tier-1 clique size
+  std::size_t transit = 56;     ///< large transit / access networks
+  std::size_t regional = 130;   ///< regional / R&E-style midsize networks
+  std::size_t stub = 640;       ///< edge networks
+  std::size_t ixps = 12;        ///< number of IXP fabrics
+
+  std::size_t transit_providers_min = 2;   ///< tier-2 upstreams
+  std::size_t transit_providers_max = 4;
+  std::size_t regional_providers_min = 1;
+  std::size_t regional_providers_max = 3;
+  std::size_t stub_providers_min = 1;
+  std::size_t stub_providers_max = 3;
+
+  double transit_peer_prob = 0.25;   ///< chance a tier-2 pair peers
+  double regional_peer_prob = 0.04;  ///< chance a regional pair peers
+  double ixp_membership_transit = 0.5;   ///< chance a transit AS joins an IXP
+  double ixp_membership_regional = 0.25; ///< chance a regional AS joins an IXP
+  double ixp_peer_prob = 0.5;        ///< chance two co-located members peer
+
+  // Parallel links: a multihomed customer may have several links to the
+  // *same* provider (the §6.1.3 exception scenario).
+  double parallel_link_prob = 0.15;
+  std::size_t parallel_links_max = 3;
+
+  // ---- Addressing ---------------------------------------------------
+  int tier1_block_len = 15;
+  int transit_block_len = 17;
+  int regional_block_len = 19;
+  int stub_block_len = 22;
+
+  /// p2c link numbered from the customer's space instead of the
+  /// provider's (industry-unconventional; creates hidden-AS cases).
+  double customer_addressed_link_prob = 0.04;
+  /// provider reallocates a /24 to a small customer and announces only
+  /// the covering aggregate (§4.4 / §6.1.2).
+  double reallocated_prefix_prob = 0.12;
+  /// stub whose space appears only in RIR delegations, not BGP.
+  double delegation_only_prob = 0.05;
+  /// AS that numbers some internal links from unannounced (dark) space.
+  double unannounced_infra_prob = 0.05;
+  /// one IXP member leaks the IXP prefix into BGP (§4.1).
+  double ixp_prefix_leak_prob = 0.4;
+
+  // ---- Router-level structure ----------------------------------------
+  std::size_t routers_min = 1;
+  std::size_t routers_max = 6;   ///< scaled by AS degree up to this cap
+
+  // ---- Traceroute reply behaviour -------------------------------------
+  double router_silent_prob = 0.01;      ///< router never responds
+  double router_egress_reply_prob = 0.10; ///< replies with egress-to-src addr
+  double router_other_reply_prob = 0.04;  ///< replies with a fixed other iface
+  double hop_loss_prob = 0.02;            ///< per-hop random response loss
+
+  /// destination-network policies (applied to stubs; probabilities are
+  /// of the *firewalled* variants, remainder is open).
+  double dest_firewall_border_prob = 0.16; ///< border answers, inside silent
+  double dest_silent_prob = 0.07;          ///< nothing in the AS answers
+
+  /// chance a campaign probes a router interface address of an AS
+  /// directly (elicits Echo Reply hops and E-labeled links).
+  double echo_dest_prob = 0.04;
+
+  /// host-address probes per (VP, AS). The ITDK probes every routed /24
+  /// (destination-side routers outnumber the core ~50:1 there); raising
+  /// this moves the IR population toward the paper's Table 3 ratios at
+  /// proportional runtime cost.
+  std::size_t host_probes_per_as = 3;
+
+  /// chance a probed host address answers with an Echo Reply. Hosts
+  /// rarely do (ITDK: ~98% of IRs are last hops; only 2.8% of linked
+  /// IRs have E but no N links), which is what makes the §5 last-hop
+  /// destination heuristic so important.
+  double host_reply_prob = 0.12;
+  /// among unreachable hosts, chance the final router sends
+  /// Destination Unreachable instead of staying silent.
+  double nonexistent_unreach_prob = 0.4;
+
+  /// Dual-stack: every interface also carries an IPv6 address from the
+  /// owner's v6 block, the RIB announces the v6 blocks, and campaigns
+  /// probe v6 host targets alongside v4. Exercises the family-agnostic
+  /// pipeline end to end (the direction of bdrmapIT's follow-on work).
+  bool dual_stack = false;
+
+  // ---- Misc ------------------------------------------------------------
+  std::size_t bgp_collector_peers = 48;  ///< ASes exporting RIB paths
+  std::uint64_t seed = 20181031;         ///< master seed (IMC'18 opening day)
+};
+
+/// Reduced-size parameter set for unit tests (fast generation).
+inline SimParams small_params() {
+  SimParams p;
+  p.tier1 = 4;
+  p.transit = 10;
+  p.regional = 16;
+  p.stub = 60;
+  p.ixps = 3;
+  return p;
+}
+
+}  // namespace topo

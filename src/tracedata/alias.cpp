@@ -1,0 +1,68 @@
+#include "tracedata/alias.hpp"
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace tracedata {
+
+std::size_t AliasSets::add(const std::vector<netbase::IPAddr>& addrs) {
+  std::vector<netbase::IPAddr> fresh;
+  fresh.reserve(addrs.size());
+  for (const auto& a : addrs) {
+    if (index_.contains(a)) continue;
+    bool dup = false;
+    for (const auto& f : fresh)
+      if (f == a) {
+        dup = true;
+        break;
+      }
+    if (!dup) fresh.push_back(a);
+  }
+  if (fresh.size() < 2) return npos;
+  const std::size_t id = sets_.size();
+  for (const auto& a : fresh) index_.emplace(a, id);
+  sets_.push_back(std::move(fresh));
+  return id;
+}
+
+std::size_t AliasSets::find(const netbase::IPAddr& a) const noexcept {
+  auto it = index_.find(a);
+  return it == index_.end() ? npos : it->second;
+}
+
+AliasSets AliasSets::read(std::istream& in) {
+  AliasSets out;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view s = line;
+    if (s.empty() || s.front() == '#') continue;
+    if (s.substr(0, 5) != "node ") continue;
+    const std::size_t colon = s.find(':');
+    if (colon == std::string_view::npos) continue;
+    s.remove_prefix(colon + 1);
+    std::vector<netbase::IPAddr> addrs;
+    std::size_t i = 0;
+    while (i < s.size()) {
+      while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+      std::size_t j = i;
+      while (j < s.size() && s[j] != ' ' && s[j] != '\t' && s[j] != '\r') ++j;
+      if (j > i)
+        if (auto a = netbase::IPAddr::parse(s.substr(i, j - i))) addrs.push_back(*a);
+      i = j + 1;
+    }
+    out.add(addrs);
+  }
+  return out;
+}
+
+void AliasSets::write(std::ostream& out) const {
+  out << "# ITDK-style nodes file: node N<id>:  <addr> <addr> ...\n";
+  for (std::size_t i = 0; i < sets_.size(); ++i) {
+    out << "node N" << (i + 1) << ": ";
+    for (const auto& a : sets_[i]) out << ' ' << a.to_string();
+    out << '\n';
+  }
+}
+
+}  // namespace tracedata

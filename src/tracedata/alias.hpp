@@ -1,0 +1,53 @@
+// tracedata/alias.hpp — router alias sets (ITDK "nodes" format).
+//
+// Alias resolution (MIDAR, iffinder, kapar) groups interface addresses
+// that belong to the same physical router. bdrmapIT consumes these
+// groups when constructing inferred routers (IRs); interfaces absent
+// from every group become singleton IRs (paper §3.1, §7.4).
+//
+// On-disk format matches CAIDA's ITDK nodes file:
+//   # comments
+//   node N<id>:  <addr> <addr> ...
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/ip_addr.hpp"
+
+namespace tracedata {
+
+/// A collection of alias sets with fast address→set lookup.
+class AliasSets {
+ public:
+  /// Adds one alias set; returns its id. Addresses already in another
+  /// set are ignored (first grouping wins), duplicates within the set
+  /// are deduplicated. Empty and singleton leftovers are dropped.
+  std::size_t add(const std::vector<netbase::IPAddr>& addrs);
+
+  /// Set id containing `a`, or npos if `a` is ungrouped.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t find(const netbase::IPAddr& a) const noexcept;
+
+  const std::vector<std::vector<netbase::IPAddr>>& sets() const noexcept {
+    return sets_;
+  }
+  std::size_t size() const noexcept { return sets_.size(); }
+  bool empty() const noexcept { return sets_.empty(); }
+
+  /// Reads an ITDK-style nodes file.
+  static AliasSets read(std::istream& in);
+
+  /// Writes in ITDK nodes format.
+  void write(std::ostream& out) const;
+
+ private:
+  std::vector<std::vector<netbase::IPAddr>> sets_;
+  std::unordered_map<netbase::IPAddr, std::size_t> index_;
+};
+
+}  // namespace tracedata

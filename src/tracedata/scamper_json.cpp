@@ -1,0 +1,397 @@
+#include "tracedata/scamper_json.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace tracedata {
+namespace {
+
+// ----------------------------------------------------------------------
+// Minimal JSON value model + recursive-descent parser.
+// ----------------------------------------------------------------------
+
+struct JsonValue;
+using JsonMembers = std::vector<std::pair<std::string, JsonValue>>;
+
+struct JsonValue {
+  enum class Kind { null, boolean, number, string, array, object } kind = Kind::null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> items;  // array
+  JsonMembers members;           // object (insertion order)
+
+  const JsonValue* get(std::string_view key) const {
+    for (const auto& [k, v] : members)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  std::optional<JsonValue> parse() {
+    skip_ws();
+    auto v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != s_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool fail(const char* why) {
+    if (error_.empty()) error_ = why;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> value() {
+    if (pos_ >= s_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 't':
+        if (literal("true")) {
+          JsonValue v;
+          v.kind = JsonValue::Kind::boolean;
+          v.b = true;
+          return v;
+        }
+        break;
+      case 'f':
+        if (literal("false")) {
+          JsonValue v;
+          v.kind = JsonValue::Kind::boolean;
+          return v;
+        }
+        break;
+      case 'n':
+        if (literal("null")) return JsonValue{};
+        break;
+      default: return number();
+    }
+    fail("invalid token");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::object;
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return v;
+    for (;;) {
+      skip_ws();
+      auto key = string_value();
+      if (!key) return std::nullopt;
+      skip_ws();
+      if (!consume(':')) {
+        fail("expected ':'");
+        return std::nullopt;
+      }
+      skip_ws();
+      auto val = value();
+      if (!val) return std::nullopt;
+      v.members.emplace_back(std::move(key->str), std::move(*val));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume('}')) return v;
+      fail("expected ',' or '}'");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::array;
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return v;
+    for (;;) {
+      skip_ws();
+      auto item = value();
+      if (!item) return std::nullopt;
+      v.items.push_back(std::move(*item));
+      skip_ws();
+      if (consume(',')) continue;
+      if (consume(']')) return v;
+      fail("expected ',' or ']'");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> string_value() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::string;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"': v.str += '"'; break;
+          case '\\': v.str += '\\'; break;
+          case '/': v.str += '/'; break;
+          case 'b': v.str += '\b'; break;
+          case 'f': v.str += '\f'; break;
+          case 'n': v.str += '\n'; break;
+          case 'r': v.str += '\r'; break;
+          case 't': v.str += '\t'; break;
+          case 'u': {
+            // Addresses and VP names are ASCII; decode BMP code points
+            // to UTF-8 for completeness.
+            if (pos_ + 4 > s_.size()) {
+              fail("bad \\u escape");
+              return std::nullopt;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                fail("bad \\u escape");
+                return std::nullopt;
+              }
+            }
+            if (code < 0x80) {
+              v.str += static_cast<char>(code);
+            } else if (code < 0x800) {
+              v.str += static_cast<char>(0xC0 | (code >> 6));
+              v.str += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              v.str += static_cast<char>(0xE0 | (code >> 12));
+              v.str += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              v.str += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("bad escape");
+            return std::nullopt;
+        }
+      } else {
+        v.str += c;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+    if (consume('.'))
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_])))
+        ++pos_;
+    }
+    // strtod never throws; overflow saturates to +-inf, which downstream
+    // range checks reject. Reject anything strtod didn't fully consume
+    // (".", "-", "1e+").
+    const std::string text(s_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (text.empty() || end != text.c_str() + text.size()) {
+      fail("invalid number");
+      return std::nullopt;
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::number;
+    v.num = value;
+    return v;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// The hop address family disambiguates the overlapping ICMP/ICMPv6
+// type numbers (v4: 11/3/0; v6: 3/1/129).
+std::optional<ReplyType> reply_from_icmp(int type, bool v6) {
+  if (v6) {
+    switch (type) {
+      case 3: return ReplyType::time_exceeded;
+      case 1: return ReplyType::dest_unreachable;
+      case 129: return ReplyType::echo_reply;
+      default: return std::nullopt;
+    }
+  }
+  switch (type) {
+    case 11: return ReplyType::time_exceeded;
+    case 3: return ReplyType::dest_unreachable;
+    case 0: return ReplyType::echo_reply;
+    default: return std::nullopt;
+  }
+}
+
+int icmp_from_reply(ReplyType r, bool v6) {
+  switch (r) {
+    case ReplyType::time_exceeded: return v6 ? 3 : 11;
+    case ReplyType::dest_unreachable: return v6 ? 1 : 3;
+    case ReplyType::echo_reply: return v6 ? 129 : 0;
+  }
+  return 11;
+}
+
+}  // namespace
+
+std::optional<Traceroute> trace_from_json(std::string_view line, std::string* error) {
+  auto set_error = [&](const std::string& why) {
+    if (error) *error = why;
+    return std::nullopt;
+  };
+
+  // Trim; skip blanks and comments.
+  while (!line.empty() && (line.back() == '\r' || line.back() == '\n' ||
+                           line.back() == ' '))
+    line.remove_suffix(1);
+  while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+  if (line.empty() || line.front() == '#') return std::nullopt;
+
+  Parser parser(line);
+  auto root = parser.parse();
+  if (!root || root->kind != JsonValue::Kind::object)
+    return set_error(parser.error().empty() ? "not a JSON object" : parser.error());
+
+  if (const JsonValue* type = root->get("type");
+      type && type->kind == JsonValue::Kind::string && type->str != "trace")
+    return std::nullopt;  // cycle-start etc.: skipped, not an error
+
+  const JsonValue* dst = root->get("dst");
+  if (!dst || dst->kind != JsonValue::Kind::string)
+    return set_error("missing dst");
+  auto dst_addr = netbase::IPAddr::parse(dst->str);
+  if (!dst_addr) return set_error("malformed dst address");
+
+  Traceroute t;
+  t.dst = *dst_addr;
+  if (const JsonValue* src = root->get("src");
+      src && src->kind == JsonValue::Kind::string)
+    t.vp = src->str;
+  if (const JsonValue* monitor = root->get("monitor");
+      monitor && monitor->kind == JsonValue::Kind::string)
+    t.vp = monitor->str;  // scamper sometimes labels the VP separately
+
+  const JsonValue* hops = root->get("hops");
+  if (hops) {
+    if (hops->kind != JsonValue::Kind::array) return set_error("hops not an array");
+    for (const JsonValue& h : hops->items) {
+      if (h.kind != JsonValue::Kind::object) return set_error("hop not an object");
+      const JsonValue* addr = h.get("addr");
+      const JsonValue* ttl = h.get("probe_ttl");
+      if (!addr || addr->kind != JsonValue::Kind::string || !ttl ||
+          ttl->kind != JsonValue::Kind::number)
+        return set_error("hop missing addr/probe_ttl");
+      auto a = netbase::IPAddr::parse(addr->str);
+      if (!a) return set_error("malformed hop address");
+      if (ttl->num < 1 || ttl->num > 255) return set_error("probe_ttl out of range");
+
+      ReplyType reply = ReplyType::time_exceeded;
+      if (const JsonValue* it = h.get("icmp_type");
+          it && it->kind == JsonValue::Kind::number) {
+        auto r = reply_from_icmp(static_cast<int>(it->num), a->is_v6());
+        if (!r) continue;  // unknown reply class: not usable, skip hop
+        reply = *r;
+      }
+      Hop hop;
+      hop.addr = *a;
+      hop.probe_ttl = static_cast<std::uint8_t>(ttl->num);
+      hop.reply = reply;
+      t.hops.push_back(hop);
+    }
+  }
+  std::stable_sort(t.hops.begin(), t.hops.end(),
+                   [](const Hop& x, const Hop& y) { return x.probe_ttl < y.probe_ttl; });
+  // Keep the first reply per TTL.
+  t.hops.erase(std::unique(t.hops.begin(), t.hops.end(),
+                           [](const Hop& x, const Hop& y) {
+                             return x.probe_ttl == y.probe_ttl;
+                           }),
+               t.hops.end());
+  return t;
+}
+
+std::vector<Traceroute> read_json_traceroutes(std::istream& in,
+                                              std::size_t* malformed) {
+  std::vector<Traceroute> out;
+  std::size_t bad = 0;
+  std::string line, error;
+  while (std::getline(in, line)) {
+    error.clear();
+    auto t = trace_from_json(line, &error);
+    if (t)
+      out.push_back(std::move(*t));
+    else if (!error.empty())
+      ++bad;
+  }
+  if (malformed) *malformed = bad;
+  return out;
+}
+
+void write_json_traceroutes(std::ostream& out, const std::vector<Traceroute>& traces) {
+  for (const auto& t : traces) {
+    out << "{\"type\":\"trace\",\"src\":\"" << t.vp << "\",\"dst\":\""
+        << t.dst.to_string() << "\",\"hops\":[";
+    for (std::size_t i = 0; i < t.hops.size(); ++i) {
+      const auto& h = t.hops[i];
+      if (i) out << ',';
+      out << "{\"addr\":\"" << h.addr.to_string()
+          << "\",\"probe_ttl\":" << static_cast<int>(h.probe_ttl)
+          << ",\"icmp_type\":" << icmp_from_reply(h.reply, h.addr.is_v6()) << '}';
+    }
+    out << "]}\n";
+  }
+}
+
+}  // namespace tracedata

@@ -1,0 +1,46 @@
+// tracedata/scamper_json.hpp — scamper-style JSON traceroute ingestion.
+//
+// Real bdrmapIT deployments consume scamper's JSON warts dumps (one
+// JSON object per line). This reader accepts the subset of that schema
+// the algorithm needs:
+//
+//   {"type":"trace", "src":"...", "dst":"203.0.113.9",
+//    "hops":[{"addr":"198.51.100.1","probe_ttl":1,"icmp_type":11},
+//            {"addr":"203.0.113.9","probe_ttl":4,"icmp_type":0}]}
+//
+// icmp_type: 11 = Time Exceeded, 3 = Destination Unreachable,
+// 0 = Echo Reply (ICMPv6 equivalents 3/1/129 are accepted too).
+// Lines whose "type" is present and not "trace" (e.g. "cycle-start")
+// are skipped silently, as are comments and blank lines. Unknown keys
+// are ignored. Hops are sorted by probe_ttl; duplicate TTLs keep the
+// first reply (scamper reports one reply per probe in this schema).
+//
+// The parser is a deliberately small recursive-descent JSON reader —
+// full JSON syntax (nesting, escapes, numbers), no external deps.
+
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "tracedata/traceroute.hpp"
+
+namespace tracedata {
+
+/// Parses one JSON line. Returns nullopt for blank/comment lines,
+/// non-trace records, and malformed input (sets `error` for the latter
+/// when non-null).
+std::optional<Traceroute> trace_from_json(std::string_view line,
+                                          std::string* error = nullptr);
+
+/// Reads a whole jsonl stream; malformed lines are counted, non-trace
+/// records skipped silently.
+std::vector<Traceroute> read_json_traceroutes(std::istream& in,
+                                              std::size_t* malformed = nullptr);
+
+/// Writes a corpus in the same JSON schema (one object per line).
+void write_json_traceroutes(std::ostream& out, const std::vector<Traceroute>& traces);
+
+}  // namespace tracedata

@@ -1,0 +1,78 @@
+// tracedata/traceroute.hpp — traceroute records and text serialization.
+//
+// The unit of input to bdrmapIT is a traceroute: a destination probed
+// from a vantage point (VP), and the sequence of ICMP replies received,
+// one per responding probe TTL. Everything the paper's heuristics need
+// is captured per hop: the reply source address, the probe TTL (so hop
+// distance between adjacent responsive hops is known — Table 3), and the
+// ICMP reply type (Time Exceeded / Destination Unreachable vs Echo
+// Reply — Table 3 and §4.4's echo-reply exclusion).
+//
+// Unresponsive probes simply have no hop record; gaps show up as probe
+// TTL differences greater than one.
+//
+// On-disk format (one traceroute per line, '#' comments):
+//   T|<vp>|<dst>|<ttl>:<addr>:<type>;<ttl>:<addr>:<type>;...
+// where <type> is T (time exceeded), U (destination unreachable),
+// E (echo reply). Example:
+//   T|ams3-nl|203.0.113.9|1:10.0.0.1:T;2:198.51.100.1:T;4:203.0.113.9:E
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/ip_addr.hpp"
+
+namespace tracedata {
+
+/// ICMP reply type of a traceroute hop.
+enum class ReplyType : std::uint8_t {
+  time_exceeded,      ///< ICMP Time Exceeded (normal mid-path reply)
+  dest_unreachable,   ///< ICMP Destination Unreachable
+  echo_reply          ///< ICMP Echo Reply (reached the probed address)
+};
+
+/// One responsive hop.
+struct Hop {
+  netbase::IPAddr addr;   ///< source address of the ICMP reply
+  std::uint8_t probe_ttl = 0;  ///< TTL of the probe that elicited it
+  ReplyType reply = ReplyType::time_exceeded;
+
+  friend bool operator==(const Hop&, const Hop&) = default;
+};
+
+/// One traceroute from a VP toward a destination.
+struct Traceroute {
+  std::string vp;          ///< vantage point identifier
+  netbase::IPAddr dst;     ///< probed destination address
+  std::vector<Hop> hops;   ///< responsive hops, ascending probe TTL
+
+  /// True if the destination itself answered (last hop's address equals
+  /// dst, via echo reply for ICMP-paris probing).
+  bool reached_destination() const noexcept {
+    return !hops.empty() && hops.back().addr == dst;
+  }
+
+  friend bool operator==(const Traceroute&, const Traceroute&) = default;
+};
+
+/// Serializes one traceroute in the one-line format above.
+std::string to_line(const Traceroute& t);
+
+/// Parses one line; nullopt for comments, blanks, or malformed input.
+std::optional<Traceroute> from_line(std::string_view line);
+
+/// Writes a whole corpus.
+void write_traceroutes(std::ostream& out, const std::vector<Traceroute>& traces);
+
+/// Reads a whole corpus; malformed lines are skipped and counted in
+/// `malformed` when non-null.
+std::vector<Traceroute> read_traceroutes(std::istream& in,
+                                         std::size_t* malformed = nullptr);
+
+}  // namespace tracedata

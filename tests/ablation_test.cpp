@@ -1,0 +1,196 @@
+// Tests for the AnnotatorOptions ablation switches: each disabled
+// heuristic must change the outcome of the fixture that exercises it
+// (the same paper-figure scenarios as annotator_test.cpp), and the
+// full-algorithm default must equal all-switches-on.
+
+#include <gtest/gtest.h>
+
+#include "core/annotator.hpp"
+#include "core/bdrmapit.hpp"
+#include "eval/experiment.hpp"
+#include "graph/graph.hpp"
+#include "test_util.hpp"
+
+using core::Annotator;
+using core::AnnotatorOptions;
+using netbase::IPAddr;
+using netbase::kNoAs;
+
+namespace {
+
+bgp::Ip2AS plan_ip2as() {
+  std::vector<std::pair<std::string, netbase::Asn>> prefixes;
+  for (int n = 1; n <= 9; ++n)
+    prefixes.emplace_back("20.0." + std::to_string(n) + ".0/24",
+                          static_cast<netbase::Asn>(n));
+  return testutil::make_ip2as(prefixes);
+}
+
+std::string ip(int as, int host) {
+  return "20.0." + std::to_string(as) + "." + std::to_string(host);
+}
+
+struct Fixture {
+  Fixture(const std::vector<tracedata::Traceroute>& corpus,
+          const tracedata::AliasSets& aliases, const asrel::RelStore& r,
+          AnnotatorOptions opt)
+      : rels(r),
+        g(graph::Graph::build(corpus, aliases, plan_ip2as(), rels)),
+        ann(g, rels, opt) {
+    for (auto& f : g.interfaces())
+      f.annotation = f.origin.announced() ? f.origin.asn : kNoAs;
+    ann.annotate_last_hops();
+  }
+  const graph::IR& ir_of(const std::string& addr) const {
+    const int fid = g.iface_by_addr(IPAddr::must_parse(addr));
+    return g.irs()[static_cast<std::size_t>(
+        g.interfaces()[static_cast<std::size_t>(fid)].ir)];
+  }
+  asrel::RelStore rels;
+  graph::Graph g;
+  Annotator ann;
+};
+
+tracedata::AliasSets alias(const std::vector<std::vector<std::string>>& groups) {
+  tracedata::AliasSets sets;
+  for (const auto& group : groups) {
+    std::vector<IPAddr> addrs;
+    for (const auto& a : group) addrs.push_back(IPAddr::must_parse(a));
+    sets.add(addrs);
+  }
+  return sets;
+}
+
+}  // namespace
+
+TEST(Ablation, LastHopDestOffFallsBackToOrigins) {
+  // The firewalled-edge scenario: with destinations, the border maps to
+  // customer AS5; without, only the origin set (AS1) remains.
+  auto corpus =
+      std::vector{testutil::tr("vp", ip(5, 9), {{1, ip(9, 1), 'T'}, {2, ip(1, 5), 'T'}})};
+  auto rels = testutil::make_rels({"1>5"});
+  Fixture on(corpus, {}, rels, {});
+  AnnotatorOptions o;
+  o.use_last_hop_dest = false;
+  Fixture off(corpus, {}, rels, o);
+  EXPECT_EQ(on.ir_of(ip(1, 5)).annotation, 5u);
+  EXPECT_EQ(off.ir_of(ip(1, 5)).annotation, 1u);
+}
+
+TEST(Ablation, ExceptionsOffRevertsToPureVoting) {
+  // Fig. 11: multihomed customer. With exceptions: AS2; without: the
+  // provider's addresses outvote the customer.
+  auto corpus = std::vector{
+      testutil::tr("vpA", ip(2, 9), {{1, ip(1, 11), 'T'}, {2, ip(2, 1), 'T'}}),
+      testutil::tr("vpB", ip(2, 8), {{1, ip(1, 12), 'T'}, {2, ip(2, 1), 'T'}})};
+  auto rels = testutil::make_rels({"1>2"});
+  auto aliases = alias({{ip(1, 11), ip(1, 12)}});
+  Fixture on(corpus, aliases, rels, {});
+  AnnotatorOptions o;
+  o.use_exceptions = false;
+  Fixture off(corpus, aliases, rels, o);
+  EXPECT_EQ(on.ann.annotate_ir(on.ir_of(ip(1, 11))), 2u);
+  // Without the exception the restricted vote still runs; provider 1
+  // holds 2 interface votes vs customer 2's single link vote.
+  EXPECT_EQ(off.ann.annotate_ir(off.ir_of(ip(1, 11))), 1u);
+}
+
+TEST(Ablation, HiddenAsOffKeepsRawSelection) {
+  // Fig. 12: with hidden-AS bridging the IR maps to AS2; without, the
+  // raw vote winner AS3 stands.
+  auto corpus = std::vector{
+      testutil::tr("vpA", ip(3, 8), {{1, ip(1, 1), 'T'}, {2, ip(3, 1), 'T'}}),
+      testutil::tr("vpB", ip(3, 9), {{1, ip(1, 1), 'T'}, {2, ip(3, 2), 'T'}})};
+  auto rels = testutil::make_rels({"1>2", "2>3"});
+  Fixture on(corpus, {}, rels, {});
+  AnnotatorOptions o;
+  o.use_hidden_as = false;
+  Fixture off(corpus, {}, rels, o);
+  EXPECT_EQ(on.ann.annotate_ir(on.ir_of(ip(1, 1))), 2u);
+  EXPECT_EQ(off.ann.annotate_ir(off.ir_of(ip(1, 1))), 3u);
+}
+
+TEST(Ablation, ReallocatedOffKeepsProviderVotes) {
+  // Fig. 10 fixture from annotator_test: with the fix the IR maps to
+  // customer AS2, without it the provider AS1 wins.
+  auto corpus = std::vector{
+      testutil::tr("vpA", ip(2, 9), {{1, ip(1, 11), 'T'}, {2, ip(1, 101), 'T'}}),
+      testutil::tr("vpB", ip(2, 9), {{1, ip(1, 12), 'T'}, {2, ip(1, 105), 'T'}}),
+      testutil::tr("vpD", ip(2, 7), {{1, ip(2, 50), 'T'}, {2, ip(1, 101), 'T'}})};
+  auto rels = testutil::make_rels({"1>2"});
+  auto aliases = alias({{ip(1, 11), ip(1, 12), ip(2, 50)}});
+  Fixture on(corpus, aliases, rels, {});
+  AnnotatorOptions o;
+  o.use_reallocated = false;
+  Fixture off(corpus, aliases, rels, o);
+  EXPECT_EQ(on.ann.annotate_ir(on.ir_of(ip(1, 11))), 2u);
+  EXPECT_EQ(off.ann.annotate_ir(off.ir_of(ip(1, 11))), 1u);
+}
+
+TEST(Ablation, ThirdPartyOffTrustsInterfaceAnnotation) {
+  // Fig. 9 fixture: with the test the link votes for the replying IR's
+  // AS (2); without it, the interface annotation (origin 3) is used.
+  auto corpus = std::vector{
+      testutil::tr("vp", ip(2, 9), {{1, ip(1, 1), 'T'}, {2, ip(3, 1), 'T'}}),
+      testutil::tr("vp", ip(2, 8), {{1, ip(2, 1), 'T'}, {2, ip(2, 2), 'T'}})};
+  auto rels = testutil::make_rels({"1>2", "2>3"});
+  auto aliases = alias({{ip(3, 1), ip(2, 1)}});
+  Fixture on(corpus, aliases, rels, {});
+  AnnotatorOptions o;
+  o.use_third_party = false;
+  Fixture off(corpus, aliases, rels, o);
+  on.ann.annotate_irs();
+  off.ann.annotate_irs();
+  const auto& ir_on = on.ir_of(ip(1, 1));
+  const auto& ir_off = off.ir_of(ip(1, 1));
+  for (int lid : ir_on.out_links) {
+    const auto& l = on.g.links()[static_cast<std::size_t>(lid)];
+    if (on.g.interfaces()[static_cast<std::size_t>(l.iface)].addr ==
+        IPAddr::must_parse(ip(3, 1))) {
+      EXPECT_EQ(on.ann.link_vote(ir_on, l), 2u);
+    }
+  }
+  for (int lid : ir_off.out_links) {
+    const auto& l = off.g.links()[static_cast<std::size_t>(lid)];
+    if (off.g.interfaces()[static_cast<std::size_t>(l.iface)].addr ==
+        IPAddr::must_parse(ip(3, 1))) {
+      EXPECT_EQ(off.ann.link_vote(ir_off, l), 3u);
+    }
+  }
+}
+
+TEST(Ablation, LinkClassFilterOffCountsMultihopVotes) {
+  // An IR with one N link toward AS2 and two M links toward AS3: with
+  // the filter only the N link votes; without it AS3 outvotes.
+  auto corpus = std::vector{
+      testutil::tr("vpA", ip(2, 9), {{1, ip(1, 1), 'T'}, {2, ip(2, 1), 'T'}}),
+      testutil::tr("vpB", ip(3, 9), {{1, ip(1, 1), 'T'}, {3, ip(3, 1), 'T'}}),
+      testutil::tr("vpC", ip(3, 8), {{1, ip(1, 1), 'T'}, {3, ip(3, 2), 'T'}})};
+  auto rels = testutil::make_rels({"1>2", "1>3"});
+  Fixture on(corpus, {}, rels, {});
+  AnnotatorOptions o;
+  o.use_link_class_filter = false;
+  Fixture off(corpus, {}, rels, o);
+  // With N-only voting: votes {2:1} plus origin vote {1:1} -> customer 2.
+  EXPECT_EQ(on.ann.annotate_ir(on.ir_of(ip(1, 1))), 2u);
+  // All-class voting: {3:2, 2:1, 1:1} -> 3.
+  EXPECT_EQ(off.ann.annotate_ir(off.ir_of(ip(1, 1))), 3u);
+}
+
+TEST(Ablation, FullPipelineSwitchesReduceAccuracy) {
+  // On a simulated Internet, disabling the two load-bearing heuristics
+  // must hurt overall accuracy; the full algorithm is the best config.
+  eval::Scenario s = eval::make_scenario(topo::small_params(), 20, true, 31);
+  const auto aliases = eval::midar_aliases(s);
+  auto owner_acc = [&](const AnnotatorOptions& opt) {
+    core::Result r = core::Bdrmapit::run(s.corpus, aliases, s.ip2as, s.rels, opt);
+    return eval::global_owner_accuracy(s.gt, s.vis, r.interfaces);
+  };
+  const double full = owner_acc({});
+  AnnotatorOptions no_dest;
+  no_dest.use_last_hop_dest = false;
+  AnnotatorOptions no_filter;
+  no_filter.use_link_class_filter = false;
+  EXPECT_GT(full, owner_acc(no_dest));
+  EXPECT_GT(full, owner_acc(no_filter));
+}

@@ -1,0 +1,579 @@
+// Unit tests for phases 2 and 3 (paper §5, §6), organized around the
+// paper's worked examples: each of Figs. 7-14 appears as a scenario.
+
+#include <gtest/gtest.h>
+
+#include "core/annotator.hpp"
+#include "graph/graph.hpp"
+#include "test_util.hpp"
+
+using core::Annotator;
+using graph::Graph;
+using netbase::IPAddr;
+using netbase::kNoAs;
+
+namespace {
+
+bgp::Ip2AS plan_ip2as(const std::vector<std::string>& ixp = {}) {
+  std::vector<std::pair<std::string, netbase::Asn>> prefixes;
+  for (int n = 1; n <= 9; ++n)
+    prefixes.emplace_back("20.0." + std::to_string(n) + ".0/24",
+                          static_cast<netbase::Asn>(n));
+  return testutil::make_ip2as(prefixes, ixp);
+}
+
+std::string ip(int as, int host) {
+  return "20.0." + std::to_string(as) + "." + std::to_string(host);
+}
+
+// Builds the graph, initializes interface annotations, and runs phase 2
+// — the state phase-3 unit tests start from.
+struct Fixture {
+  Fixture(const std::vector<tracedata::Traceroute>& corpus,
+          const tracedata::AliasSets& aliases, const asrel::RelStore& r,
+          const bgp::Ip2AS& map)
+      : rels(r), g(Graph::build(corpus, aliases, map, rels)), ann(g, rels) {
+    for (auto& f : g.interfaces())
+      f.annotation = f.origin.announced() ? f.origin.asn : kNoAs;
+    ann.annotate_last_hops();
+  }
+
+  const graph::IR& ir_of(const std::string& addr) const {
+    const int fid = g.iface_by_addr(IPAddr::must_parse(addr));
+    EXPECT_GE(fid, 0) << addr;
+    return g.irs()[static_cast<std::size_t>(
+        g.interfaces()[static_cast<std::size_t>(fid)].ir)];
+  }
+
+  const graph::Interface& iface_of(const std::string& addr) const {
+    const int fid = g.iface_by_addr(IPAddr::must_parse(addr));
+    EXPECT_GE(fid, 0) << addr;
+    return g.interfaces()[static_cast<std::size_t>(fid)];
+  }
+
+  asrel::RelStore rels;
+  Graph g;
+  Annotator ann;
+};
+
+tracedata::AliasSets alias(const std::vector<std::vector<std::string>>& groups) {
+  tracedata::AliasSets sets;
+  for (const auto& group : groups) {
+    std::vector<IPAddr> addrs;
+    for (const auto& a : group) addrs.push_back(IPAddr::must_parse(a));
+    sets.add(addrs);
+  }
+  return sets;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Phase 2, §5.1 — last hops with an empty destination AS set
+// ---------------------------------------------------------------------
+
+TEST(LastHopEmptyDest, SingleOriginAs) {
+  // Echo-probed interface: no destination info, one origin AS.
+  Fixture fx({testutil::tr("vp", ip(1, 5), {{1, ip(9, 1), 'T'}, {2, ip(1, 5), 'E'}})},
+             {}, testutil::make_rels({}), plan_ip2as());
+  EXPECT_EQ(fx.ir_of(ip(1, 5)).annotation, 1u);
+}
+
+TEST(LastHopEmptyDest, OriginRelatedToAllOthersWins) {
+  // Aliased echo-only IR with origins {1,2}, 1>2: both relate to all
+  // others; tie broken toward the smaller cone (the customer, 2).
+  Fixture fx(
+      {testutil::tr("vp", ip(1, 5), {{1, ip(9, 1), 'T'}, {2, ip(1, 5), 'E'}}),
+       testutil::tr("vp", ip(2, 5), {{1, ip(9, 1), 'T'}, {2, ip(2, 5), 'E'}})},
+      alias({{ip(1, 5), ip(2, 5)}}), testutil::make_rels({"1>2", "1>3"}),
+      plan_ip2as());
+  EXPECT_EQ(fx.ir_of(ip(1, 5)).annotation, 2u);
+}
+
+TEST(LastHopEmptyDest, OutsideAsRelatedToAllMembers) {
+  // Origins {1,2} unrelated to each other; AS3 is related to both.
+  Fixture fx(
+      {testutil::tr("vp", ip(1, 5), {{1, ip(9, 1), 'T'}, {2, ip(1, 5), 'E'}}),
+       testutil::tr("vp", ip(2, 5), {{1, ip(9, 1), 'T'}, {2, ip(2, 5), 'E'}})},
+      alias({{ip(1, 5), ip(2, 5)}}), testutil::make_rels({"1>3", "2>3"}),
+      plan_ip2as());
+  EXPECT_EQ(fx.ir_of(ip(1, 5)).annotation, 3u);
+}
+
+TEST(LastHopEmptyDest, FallsBackToMostInterfaceVotes) {
+  // Origins {1 (x2), 2}; no relationships anywhere.
+  Fixture fx(
+      {testutil::tr("vp", ip(1, 5), {{1, ip(9, 1), 'T'}, {2, ip(1, 5), 'E'}}),
+       testutil::tr("vp", ip(1, 6), {{1, ip(9, 1), 'T'}, {2, ip(1, 6), 'E'}}),
+       testutil::tr("vp", ip(2, 5), {{1, ip(9, 1), 'T'}, {2, ip(2, 5), 'E'}})},
+      alias({{ip(1, 5), ip(1, 6), ip(2, 5)}}), testutil::make_rels({}),
+      plan_ip2as());
+  EXPECT_EQ(fx.ir_of(ip(1, 5)).annotation, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Phase 2, §5.2 / Alg. 1 — last hops with destinations (Figs. 6, 7)
+// ---------------------------------------------------------------------
+
+TEST(LastHopAlg1, SingleOverlapWins) {
+  // Fig. 7 top: IR's dest set {1} overlaps its origin set {1}.
+  Fixture fx({testutil::tr("vp", ip(1, 9), {{1, ip(9, 1), 'T'}, {2, ip(1, 5), 'T'}})},
+             {}, testutil::make_rels({}), plan_ip2as());
+  EXPECT_EQ(fx.ir_of(ip(1, 5)).annotation, 1u);
+}
+
+TEST(LastHopAlg1, MultipleOverlapPicksSmallestCone) {
+  // Origins {1,2}, dests {1,2}; cone(1) > cone(2) -> reallocated prefix
+  // assumption selects 2.
+  Fixture fx(
+      {testutil::tr("vp", ip(1, 9), {{1, ip(9, 1), 'T'}, {2, ip(1, 5), 'T'}}),
+       testutil::tr("vp", ip(2, 9), {{1, ip(9, 1), 'T'}, {2, ip(2, 5), 'T'}})},
+      alias({{ip(1, 5), ip(2, 5)}}), testutil::make_rels({"1>3", "1>4"}),
+      plan_ip2as());
+  EXPECT_EQ(fx.ir_of(ip(1, 5)).annotation, 2u);
+}
+
+TEST(LastHopAlg1, DestinationRelatedToOriginWins) {
+  // Fig. 7 bottom / the firewalled-edge case: border interface in
+  // provider space (AS1), probes toward customer AS5 end here.
+  Fixture fx({testutil::tr("vp", ip(5, 9), {{1, ip(9, 1), 'T'}, {2, ip(1, 5), 'T'}})},
+             {}, testutil::make_rels({"1>5"}), plan_ip2as());
+  EXPECT_EQ(fx.ir_of(ip(1, 5)).annotation, 5u);
+}
+
+TEST(LastHopAlg1, AmongRelatedDestsPicksLargestConeOverlap) {
+  // Dests {5,6}, both related to origin; 5 is 6's transit provider, so
+  // cone(5) covers both destinations.
+  Fixture fx(
+      {testutil::tr("vp", ip(5, 9), {{1, ip(9, 1), 'T'}, {2, ip(1, 5), 'T'}}),
+       testutil::tr("vp", ip(6, 9), {{1, ip(9, 1), 'T'}, {2, ip(1, 5), 'T'}})},
+      {}, testutil::make_rels({"1>5", "1>6", "5>6"}), plan_ip2as());
+  EXPECT_EQ(fx.ir_of(ip(1, 5)).annotation, 5u);
+}
+
+TEST(LastHopAlg1, BridgeBetweenOriginAndDest) {
+  // No relationship between origin 1 and dest 5, but 3 is a customer of
+  // 1 and a provider of 5 (Alg. 1 lines 7-9).
+  Fixture fx({testutil::tr("vp", ip(5, 9), {{1, ip(9, 1), 'T'}, {2, ip(1, 5), 'T'}})},
+             {}, testutil::make_rels({"1>3", "3>5"}), plan_ip2as());
+  EXPECT_EQ(fx.ir_of(ip(1, 5)).annotation, 3u);
+}
+
+TEST(LastHopAlg1, FallsBackToSmallestConeDest) {
+  Fixture fx(
+      {testutil::tr("vp", ip(5, 9), {{1, ip(9, 1), 'T'}, {2, ip(1, 5), 'T'}}),
+       testutil::tr("vp", ip(6, 9), {{1, ip(9, 1), 'T'}, {2, ip(1, 5), 'T'}})},
+      {}, testutil::make_rels({"6>7"}), plan_ip2as());
+  // cone(5)=1 < cone(6)=2; no relationships to origins, no bridge.
+  EXPECT_EQ(fx.ir_of(ip(1, 5)).annotation, 5u);
+}
+
+TEST(LastHopAlg1, Fig7DestinationSets) {
+  // Fig. 7: IR2 seen by paths to ASB (its own origin) -> ASB; IR3 seen
+  // by paths to ASD and ASE where ASD relates to origin ASB -> ASD.
+  // ASes: B=2, D=4, E=5.
+  Fixture fx(
+      {testutil::tr("vp", ip(2, 9), {{1, ip(9, 1), 'T'}, {2, ip(2, 10), 'T'}}),
+       testutil::tr("vp", ip(4, 9), {{1, ip(9, 1), 'T'}, {2, ip(2, 20), 'T'}}),
+       testutil::tr("vp", ip(5, 9), {{1, ip(9, 1), 'T'}, {2, ip(2, 20), 'T'}})},
+      {}, testutil::make_rels({"2>4"}), plan_ip2as());
+  EXPECT_EQ(fx.ir_of(ip(2, 10)).annotation, 2u);
+  EXPECT_EQ(fx.ir_of(ip(2, 20)).annotation, 4u);
+}
+
+// ---------------------------------------------------------------------
+// Alg. 3 — link vote heuristics (§6.1.1)
+// ---------------------------------------------------------------------
+
+TEST(LinkVotes, SubsequentOriginInLinkOriginSet) {
+  // Line 1: the next interface's origin already appeared before the
+  // link: intradomain evidence, vote the origin.
+  Fixture fx({testutil::tr("vp", ip(9, 9),
+                           {{1, ip(1, 1), 'T'}, {2, ip(1, 2), 'T'}, {3, ip(9, 5), 'T'}})},
+             {}, testutil::make_rels({}), plan_ip2as());
+  const auto& ir = fx.ir_of(ip(1, 1));
+  EXPECT_EQ(fx.ann.annotate_ir(ir), 1u);
+}
+
+TEST(LinkVotes, IxpAddressVotesLargestConeOrigin) {
+  // Line 2: subsequent interface on an IXP fabric; vote the likely
+  // transit provider among the link origin set (largest cone).
+  auto map = plan_ip2as({"198.32.0.0/24"});
+  Fixture fx(
+      {testutil::tr("vp", ip(9, 9),
+                    {{1, ip(1, 1), 'T'}, {2, "198.32.0.5", 'T'}, {3, ip(9, 5), 'T'}}),
+       testutil::tr("vp", ip(8, 8),
+                    {{1, ip(2, 1), 'T'}, {2, "198.32.0.5", 'T'}, {3, ip(8, 5), 'T'}})},
+      alias({{ip(1, 1), ip(2, 1)}}), testutil::make_rels({"1>3", "1>4", "2>5"}), map);
+  // L(IR, ixp) = {1, 2}; cone(1)=3 > cone(2)=2.
+  const auto& ir = fx.ir_of(ip(1, 1));
+  EXPECT_EQ(fx.ann.annotate_ir(ir), 1u);
+}
+
+TEST(LinkVotes, UnannouncedChainPropagates) {
+  // Fig. 8: IRs whose subsequent interfaces are unannounced inherit the
+  // annotation of the subsequent IR, hop by hop across iterations.
+  // Unannounced addresses: 100.99.0.x (in no table). ASX = 2.
+  Fixture fx({testutil::tr("vp", ip(2, 9),
+                           {{1, ip(1, 1), 'T'},
+                            {2, "100.99.0.1", 'T'},
+                            {3, "100.99.0.2", 'T'},
+                            {4, "100.99.0.3", 'T'}})},
+             {}, testutil::make_rels({"1>2"}), plan_ip2as());
+  // The last unannounced IR was annotated by the §5 destination
+  // heuristic (dest set {2}, empty origins -> smallest cone dest).
+  EXPECT_EQ(fx.ir_of("100.99.0.3").annotation, 2u);
+  fx.ann.run();
+  EXPECT_EQ(fx.ir_of("100.99.0.2").annotation, 2u);
+  EXPECT_EQ(fx.ir_of("100.99.0.1").annotation, 2u);
+  EXPECT_EQ(fx.ir_of(ip(1, 1)).annotation, 2u);
+}
+
+TEST(LinkVotes, ThirdPartyAddressDetected) {
+  // Fig. 9: subsequent interface c has origin AS3, its IR is annotated
+  // AS2, a link origin (AS1) relates to AS2, and no probe crossing the
+  // link was destined to AS3 -> treat c as third-party, vote AS2.
+  auto rels = testutil::make_rels({"1>2", "2>3"});
+  Fixture fx(
+      {// IR2 = {c(3), b1(2)}: c appears after a(1) on a path to AS2.
+       testutil::tr("vp", ip(2, 9), {{1, ip(1, 1), 'T'}, {2, ip(3, 1), 'T'}}),
+       // b1 context: IR2 links onward into AS2, so IR2 annotates as 2.
+       testutil::tr("vp", ip(2, 8), {{1, ip(2, 1), 'T'}, {2, ip(2, 2), 'T'}})},
+      alias({{ip(3, 1), ip(2, 1)}}), rels, plan_ip2as());
+  fx.ann.annotate_irs();
+  ASSERT_EQ(fx.ir_of(ip(3, 1)).annotation, 2u);  // IR2 -> AS2
+  const auto& ir1 = fx.ir_of(ip(1, 1));
+  // The link vote for (IR1, c) substitutes IR2's annotation for the
+  // third-party origin.
+  for (int lid : ir1.out_links) {
+    const auto& l = fx.g.links()[static_cast<std::size_t>(lid)];
+    if (l.iface == fx.iface_of(ip(3, 1)).id) {
+      EXPECT_EQ(fx.ann.link_vote(ir1, l), 2u);
+    }
+  }
+}
+
+TEST(LinkVotes, ThirdPartySkippedWhenDestinationMatchesOrigin) {
+  // Same layout, but a probe destined to AS3 crossed the link: the
+  // address is on-path toward AS3, so no substitution happens.
+  auto rels = testutil::make_rels({"1>2", "2>3"});
+  Fixture fx(
+      {testutil::tr("vp", ip(2, 9), {{1, ip(1, 1), 'T'}, {2, ip(3, 1), 'T'}}),
+       testutil::tr("vp", ip(3, 9), {{1, ip(1, 1), 'T'}, {2, ip(3, 1), 'T'}}),
+       testutil::tr("vp", ip(2, 8), {{1, ip(2, 1), 'T'}, {2, ip(2, 2), 'T'}})},
+      alias({{ip(3, 1), ip(2, 1)}}), rels, plan_ip2as());
+  fx.ann.annotate_irs();
+  const auto& ir1 = fx.ir_of(ip(1, 1));
+  for (int lid : ir1.out_links) {
+    const auto& l = fx.g.links()[static_cast<std::size_t>(lid)];
+    if (l.iface == fx.iface_of(ip(3, 1)).id) {
+      EXPECT_EQ(fx.ann.link_vote(ir1, l), fx.iface_of(ip(3, 1)).annotation);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// §6.1.2 — reallocated prefixes (Fig. 10)
+// ---------------------------------------------------------------------
+
+TEST(AnnotateIr, ReallocatedPrefixVotesMoveToCustomer) {
+  // Provider AS1 reallocated 20.0.1.100/30-ish space to customer AS2;
+  // IR1 (the customer border router) has provider-space interfaces
+  // p1, p2 and a customer interface c; its subsequent interfaces
+  // x.x.x.101/.105 share a /24, their IRs map to AS2.
+  auto rels = testutil::make_rels({"1>2"});
+  Fixture fx(
+      {testutil::tr("vpA", ip(2, 9), {{1, ip(1, 11), 'T'}, {2, ip(1, 101), 'T'}}),
+       testutil::tr("vpB", ip(2, 9), {{1, ip(1, 12), 'T'}, {2, ip(1, 105), 'T'}}),
+       testutil::tr("vpC", ip(2, 8), {{1, ip(2, 1), 'T'}}),
+       // join c into IR1 context: c precedes the same /24 interfaces
+       testutil::tr("vpD", ip(2, 7), {{1, ip(2, 50), 'T'}, {2, ip(1, 101), 'T'}})},
+      alias({{ip(1, 11), ip(1, 12), ip(2, 50)}}), rels, plan_ip2as());
+  // Last-hop heuristic put the x.x.x.* IRs in AS2 (dest {2}, origin {1},
+  // related -> 2).
+  ASSERT_EQ(fx.ir_of(ip(1, 101)).annotation, 2u);
+  ASSERT_EQ(fx.ir_of(ip(1, 105)).annotation, 2u);
+  // Without §6.1.2 the provider would win (votes 1:2ifaces+2links vs
+  // 2:1iface); with it, the two same-/24 links flip to the customer.
+  EXPECT_EQ(fx.ann.annotate_ir(fx.ir_of(ip(1, 11))), 2u);
+}
+
+// ---------------------------------------------------------------------
+// §6.1.3 — exceptions (Fig. 11)
+// ---------------------------------------------------------------------
+
+TEST(AnnotateIr, MultihomedCustomerException) {
+  // Fig. 11: IR1 has two provider-space interfaces (multihomed to AS1)
+  // and one link toward customer space AS2. Pure voting would pick AS1;
+  // the exception annotates the customer.
+  auto rels = testutil::make_rels({"1>2"});
+  Fixture fx(
+      {testutil::tr("vpA", ip(2, 9), {{1, ip(1, 11), 'T'}, {2, ip(2, 1), 'T'}}),
+       testutil::tr("vpB", ip(2, 8), {{1, ip(1, 12), 'T'}, {2, ip(2, 1), 'T'}})},
+      alias({{ip(1, 11), ip(1, 12)}}), rels, plan_ip2as());
+  EXPECT_EQ(fx.ann.annotate_ir(fx.ir_of(ip(1, 11))), 2u);
+}
+
+TEST(AnnotateIr, MultiplePeersProvidersException) {
+  // Single origin AS5; subsequent ASes {6,7} are its provider and peer:
+  // the common denominator 5 operates the router.
+  auto rels = testutil::make_rels({"6>5", "7~5"});
+  Fixture fx(
+      {testutil::tr("vpA", ip(6, 9), {{1, ip(5, 1), 'T'}, {2, ip(6, 1), 'T'}}),
+       testutil::tr("vpB", ip(7, 9), {{1, ip(5, 1), 'T'}, {2, ip(7, 1), 'T'}})},
+      {}, rels, plan_ip2as());
+  EXPECT_EQ(fx.ann.annotate_ir(fx.ir_of(ip(5, 1))), 5u);
+}
+
+// ---------------------------------------------------------------------
+// §6.1.4 — restricted election
+// ---------------------------------------------------------------------
+
+TEST(AnnotateIr, RestrictedVoteExcludesUnrelatedAses) {
+  // Subsequent votes: AS6 twice (no relationship with the origin AS5),
+  // AS7 once (customer of 5). The election is restricted to {5, 7}.
+  auto rels = testutil::make_rels({"5>7"});
+  Fixture fx(
+      {testutil::tr("vpA", ip(6, 8), {{1, ip(5, 1), 'T'}, {2, ip(6, 1), 'T'}}),
+       testutil::tr("vpB", ip(6, 9), {{1, ip(5, 1), 'T'}, {2, ip(6, 2), 'T'}}),
+       testutil::tr("vpC", ip(7, 9), {{1, ip(5, 1), 'T'}, {2, ip(7, 1), 'T'}})},
+      {}, rels, plan_ip2as());
+  const netbase::Asn got = fx.ann.annotate_ir(fx.ir_of(ip(5, 1)));
+  EXPECT_TRUE(got == 5u || got == 7u) << got;
+  EXPECT_NE(got, 6u);
+}
+
+// ---------------------------------------------------------------------
+// §6.1.5 — hidden AS (Fig. 12)
+// ---------------------------------------------------------------------
+
+TEST(AnnotateIr, HiddenAsBridgesSelection) {
+  // Traceroute crosses AS2 between AS1 and AS3 but AS2 never appears:
+  // the router's interfaces are AS1-addressed, subsequents are AS3.
+  // 1>2, 2>3, no relationship 1-3: infer the hidden AS2.
+  auto rels = testutil::make_rels({"1>2", "2>3"});
+  Fixture fx(
+      {testutil::tr("vpA", ip(3, 8), {{1, ip(1, 1), 'T'}, {2, ip(3, 1), 'T'}}),
+       testutil::tr("vpB", ip(3, 9), {{1, ip(1, 1), 'T'}, {2, ip(3, 2), 'T'}})},
+      {}, rels, plan_ip2as());
+  // Make the subsequent IRs' interface annotations their origins (they
+  // are last hops annotated 3 by phase 2 already).
+  EXPECT_EQ(fx.ann.annotate_ir(fx.ir_of(ip(1, 1))), 2u);
+}
+
+TEST(AnnotateIr, NoHiddenAsWhenRelated) {
+  // Same shape but 1>3 exists: selection 3 is kept.
+  auto rels = testutil::make_rels({"1>3"});
+  Fixture fx(
+      {testutil::tr("vpA", ip(3, 8), {{1, ip(1, 1), 'T'}, {2, ip(3, 1), 'T'}}),
+       testutil::tr("vpB", ip(3, 9), {{1, ip(1, 1), 'T'}, {2, ip(3, 2), 'T'}})},
+      {}, rels, plan_ip2as());
+  EXPECT_EQ(fx.ann.annotate_ir(fx.ir_of(ip(1, 1))), 3u);
+}
+
+// ---------------------------------------------------------------------
+// §6.2 — interface annotations (Fig. 13)
+// ---------------------------------------------------------------------
+
+TEST(AnnotateIfaces, OriginDiffersFromRouterAnnotation) {
+  // Fig. 13a: interface origin AS1 on a router annotated AS2 -> the
+  // interface connects to a router operated by AS1.
+  auto rels = testutil::make_rels({"1>2"});
+  Fixture fx(
+      {testutil::tr("vpA", ip(2, 9), {{1, ip(1, 11), 'T'}, {2, ip(2, 1), 'T'}}),
+       testutil::tr("vpB", ip(2, 8), {{1, ip(1, 12), 'T'}, {2, ip(2, 1), 'T'}})},
+      alias({{ip(1, 11), ip(1, 12)}}), rels, plan_ip2as());
+  fx.ann.annotate_irs();
+  ASSERT_EQ(fx.ir_of(ip(1, 11)).annotation, 2u);  // multihomed exception
+  fx.ann.annotate_interfaces();
+  EXPECT_EQ(fx.iface_of(ip(1, 11)).annotation, 1u);
+}
+
+TEST(AnnotateIfaces, VoteAmongConnectedIrs) {
+  // Fig. 13b: b's origin equals its router's AS; the connected IRs vote
+  // with one ballot per interface seen prior to b.
+  Fixture fx(
+      {testutil::tr("vpA", ip(1, 9), {{1, ip(1, 1), 'T'}, {2, ip(1, 50), 'T'}}),
+       testutil::tr("vpB", ip(1, 9), {{1, ip(1, 2), 'T'}, {2, ip(1, 50), 'T'}}),
+       testutil::tr("vpC", ip(1, 9), {{1, ip(1, 3), 'T'}, {2, ip(1, 50), 'T'}}),
+       testutil::tr("vpD", ip(1, 9), {{1, ip(3, 1), 'T'}, {2, ip(1, 50), 'T'}})},
+      alias({{ip(1, 1), ip(1, 2)}}), testutil::make_rels({"1>3"}), plan_ip2as());
+  fx.ann.annotate_irs();
+  fx.ann.annotate_interfaces();
+  // Prev IRs: {a1,a2} (AS1, 2 votes), a3 (AS1, 1 vote), c (AS3, 1 vote).
+  EXPECT_EQ(fx.iface_of(ip(1, 50)).annotation, 1u);
+}
+
+TEST(AnnotateIfaces, IntradomainStaysOwnAs) {
+  // Fig. 13c: same AS on the router and all connected routers.
+  Fixture fx(
+      {testutil::tr("vpA", ip(1, 9), {{1, ip(1, 1), 'T'}, {2, ip(1, 50), 'T'}})},
+      {}, testutil::make_rels({}), plan_ip2as());
+  fx.ann.annotate_irs();
+  fx.ann.annotate_interfaces();
+  EXPECT_EQ(fx.iface_of(ip(1, 50)).annotation, 1u);
+}
+
+TEST(AnnotateIfaces, IxpInterfacesLeftUnannotated) {
+  auto map = plan_ip2as({"198.32.0.0/24"});
+  Fixture fx({testutil::tr("vp", ip(9, 9),
+                           {{1, ip(1, 1), 'T'}, {2, "198.32.0.5", 'T'},
+                            {3, ip(9, 5), 'T'}})},
+             {}, testutil::make_rels({}), map);
+  fx.ann.annotate_irs();
+  fx.ann.annotate_interfaces();
+  EXPECT_EQ(fx.iface_of("198.32.0.5").annotation, kNoAs);
+}
+
+// ---------------------------------------------------------------------
+// §6.3 — refinement loop behaviour
+// ---------------------------------------------------------------------
+
+TEST(Refinement, RunTerminatesAtRepeatedState) {
+  std::vector<tracedata::Traceroute> corpus;
+  for (int d = 1; d <= 9; ++d)
+    for (int s = 1; s <= 9; ++s) {
+      if (s == d) continue;
+      corpus.push_back(testutil::tr(
+          "vp" + std::to_string(s), ip(d, 9),
+          {{1, ip(s, 1), 'T'}, {2, ip(d, 1), 'T'}, {3, ip(d, 9), 'E'}}));
+    }
+  Fixture fx(corpus, {}, testutil::make_rels({"1>2", "1>3", "2>4"}), plan_ip2as());
+  fx.ann.run();
+  EXPECT_LT(fx.ann.iterations(), 64);
+  EXPECT_GE(fx.ann.iterations(), 1);
+}
+
+TEST(Refinement, LastHopAnnotationsAreFrozen) {
+  // A phase-2 annotation must survive refinement unchanged (§3.3).
+  Fixture fx({testutil::tr("vp", ip(5, 9), {{1, ip(9, 1), 'T'}, {2, ip(1, 5), 'T'}})},
+             {}, testutil::make_rels({"1>5"}), plan_ip2as());
+  const netbase::Asn before = fx.ir_of(ip(1, 5)).annotation;
+  ASSERT_EQ(before, 5u);
+  fx.ann.run();
+  EXPECT_EQ(fx.ir_of(ip(1, 5)).annotation, before);
+}
+
+TEST(Refinement, Fig14CorrectionAcrossIterations) {
+  // Fig. 14: IR1's only link leads to b (origin AS2); b is also fed by
+  // an AS1 router with two interfaces, so b's annotation flips to AS1
+  // in the interface stage and corrects IR1 in the next iteration.
+  auto rels = testutil::make_rels({"1>2"});
+  Fixture fx(
+      {testutil::tr("vpA", ip(2, 9), {{1, ip(1, 61), 'T'}, {2, ip(2, 5), 'T'}}),
+       testutil::tr("vpB", ip(2, 9), {{1, ip(1, 62), 'T'}, {2, ip(2, 5), 'T'}}),
+       testutil::tr("vpC", ip(2, 9), {{1, ip(1, 63), 'T'}, {2, ip(2, 5), 'T'}}),
+       // IR3 also has intra-AS1 context (like Fig. 14's IR3, whose ASA
+       // annotation is independent of b).
+       testutil::tr("vpE", ip(1, 9), {{1, ip(1, 61), 'T'}, {2, ip(1, 80), 'T'}}),
+       // IR1: a lone router with a single link to b.
+       testutil::tr("vpD", ip(2, 8), {{1, ip(1, 70), 'T'}, {2, ip(2, 5), 'T'}})},
+      alias({{ip(1, 61), ip(1, 62), ip(1, 63)}}), rels, plan_ip2as());
+  fx.ann.run();
+  // b's interface annotation converged to AS1 (the side with the most
+  // interfaces), so IR1 is annotated AS1, not AS2.
+  EXPECT_EQ(fx.iface_of(ip(2, 5)).annotation, 1u);
+  EXPECT_EQ(fx.ir_of(ip(1, 70)).annotation, 1u);
+}
+
+TEST(Refinement, DeterministicAcrossRuns) {
+  auto build = [] {
+    std::vector<tracedata::Traceroute> corpus;
+    for (int d = 1; d <= 9; ++d)
+      corpus.push_back(testutil::tr("vp", ip(d, 9),
+                                    {{1, ip(9, 1), 'T'}, {2, ip(d, 1), 'T'}}));
+    return corpus;
+  };
+  Fixture a(build(), {}, testutil::make_rels({"1>2"}), plan_ip2as());
+  Fixture b(build(), {}, testutil::make_rels({"1>2"}), plan_ip2as());
+  a.ann.run();
+  b.ann.run();
+  ASSERT_EQ(a.g.irs().size(), b.g.irs().size());
+  for (std::size_t i = 0; i < a.g.irs().size(); ++i)
+    EXPECT_EQ(a.g.irs()[i].annotation, b.g.irs()[i].annotation);
+}
+
+// ---------------------------------------------------------------------
+// Fine-print behaviours from the paper's text
+// ---------------------------------------------------------------------
+
+TEST(LinkVotes, ThirdPartySkippedWhenSubsequentIrUnannotated) {
+  // §6.1.1: "If c's IR does not yet have an annotation, only possible in
+  // the first iteration, we skip the third-party tests entirely."
+  auto rels = testutil::make_rels({"1>2", "2>3"});
+  Fixture fx(
+      {testutil::tr("vp", ip(2, 9), {{1, ip(1, 1), 'T'}, {2, ip(3, 1), 'T'}}),
+       // gives c's IR an out-link so phase 2 does not annotate it
+       testutil::tr("vp", ip(2, 8), {{1, ip(3, 1), 'T'}, {2, ip(2, 2), 'T'}})},
+      {}, rels, plan_ip2as());
+  const auto& ir1 = fx.ir_of(ip(1, 1));
+  ASSERT_EQ(fx.ir_of(ip(3, 1)).annotation, kNoAs);  // not yet annotated
+  for (int lid : ir1.out_links) {
+    const auto& l = fx.g.links()[static_cast<std::size_t>(lid)];
+    if (l.iface == fx.iface_of(ip(3, 1)).id) {
+      // Falls through to the interface annotation (its origin, AS3).
+      EXPECT_EQ(fx.ann.link_vote(ir1, l), 3u);
+    }
+  }
+}
+
+TEST(LinkVotes, Line1PrecedesThirdParty) {
+  // When the subsequent origin already appears in L(IRi,j), the vote is
+  // that origin even if a third-party signature is also present.
+  auto rels = testutil::make_rels({"1>2"});
+  Fixture fx(
+      {testutil::tr("vp", ip(2, 9), {{1, ip(1, 1), 'T'}, {2, ip(1, 2), 'T'}})},
+      {}, rels, plan_ip2as());
+  const auto& ir1 = fx.ir_of(ip(1, 1));
+  for (int lid : ir1.out_links) {
+    const auto& l = fx.g.links()[static_cast<std::size_t>(lid)];
+    EXPECT_EQ(fx.ann.link_vote(ir1, l), 1u);
+  }
+}
+
+TEST(AnnotateIr, RestrictedSetRevertsWhenOnlyOrigins) {
+  // §6.1.4: when no subsequent AS has a relationship to a link origin,
+  // the election uses all votes (and then the hidden-AS check).
+  auto rels = testutil::make_rels({});  // no relationships at all
+  Fixture fx(
+      {testutil::tr("vpA", ip(6, 8), {{1, ip(5, 1), 'T'}, {2, ip(6, 1), 'T'}}),
+       testutil::tr("vpB", ip(6, 9), {{1, ip(5, 1), 'T'}, {2, ip(6, 2), 'T'}})},
+      {}, rels, plan_ip2as());
+  // Votes: 6 (two links, annotated via phase 2 dest sets) vs 5 (one
+  // iface); with no relation info the raw majority stands.
+  EXPECT_EQ(fx.ann.annotate_ir(fx.ir_of(ip(5, 1))), 6u);
+}
+
+TEST(AnnotateIfaces, TieBreakPrefersRelatedLargestCone) {
+  // §6.2 tie: among tied ASes, the largest customer cone with a
+  // BGP-observed relationship to the interface origin wins.
+  auto rels = testutil::make_rels({"2>1", "2>7", "2>8", "3>9"});
+  // b (origin 1) with two prev IRs voting once each: one annotated 2
+  // (related to b's origin, big cone), one annotated 3 (unrelated).
+  // Each prev router is anchored in its own AS by an intradomain link.
+  Fixture fx(
+      {testutil::tr("vpA", ip(2, 9), {{1, ip(2, 1), 'T'}, {2, ip(2, 60), 'T'}}),
+       testutil::tr("vpB", ip(1, 9), {{1, ip(2, 1), 'T'}, {2, ip(1, 50), 'T'}}),
+       testutil::tr("vpC", ip(3, 9), {{1, ip(3, 1), 'T'}, {2, ip(3, 60), 'T'}}),
+       testutil::tr("vpD", ip(1, 9), {{1, ip(3, 1), 'T'}, {2, ip(1, 50), 'T'}})},
+      {}, rels, plan_ip2as());
+  fx.ann.annotate_irs();
+  ASSERT_EQ(fx.ir_of(ip(2, 1)).annotation, 2u);
+  ASSERT_EQ(fx.ir_of(ip(3, 1)).annotation, 3u);
+  fx.ann.annotate_interfaces();
+  EXPECT_EQ(fx.iface_of(ip(1, 50)).annotation, 2u);
+}
+
+TEST(AnnotateIr, EmptyVotesLeaveUnannotated) {
+  // An IR whose only out-link leads to an unannounced interface with an
+  // unannotated IR casts no votes in the first sweep and stays
+  // unannotated rather than guessing.
+  Fixture fx(
+      {testutil::tr("vp", ip(9, 9),
+                    {{1, "100.99.0.1", 'T'}, {2, "100.99.0.2", 'T'},
+                     {3, "100.99.0.3", 'T'}})},
+      {}, testutil::make_rels({}), plan_ip2as());
+  // 100.99.0.2's IR is mid-path and unannotated; 0.1's vote is null.
+  const auto& ir = fx.ir_of("100.99.0.1");
+  EXPECT_EQ(fx.ann.annotate_ir(ir), kNoAs);
+}

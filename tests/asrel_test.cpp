@@ -1,0 +1,255 @@
+// Unit tests for AS relationships: store, cones, serial-1 files, and
+// the path-based inference pipeline.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "asrel/infer.hpp"
+#include "asrel/relstore.hpp"
+#include "asrel/serial1.hpp"
+#include "test_util.hpp"
+#include "topo/internet.hpp"
+
+using asrel::Rel;
+using asrel::RelStore;
+using netbase::Asn;
+
+// ---------------------------------------------------------------------
+// RelStore
+// ---------------------------------------------------------------------
+
+TEST(RelStore, DirectionalRelationships) {
+  RelStore s = testutil::make_rels({"1>2", "2~3"});
+  EXPECT_EQ(s.rel(1, 2), Rel::p2c);
+  EXPECT_EQ(s.rel(2, 1), Rel::c2p);
+  EXPECT_EQ(s.rel(2, 3), Rel::p2p);
+  EXPECT_EQ(s.rel(3, 2), Rel::p2p);
+  EXPECT_EQ(s.rel(1, 3), Rel::none);
+  EXPECT_TRUE(s.has_relationship(1, 2));
+  EXPECT_FALSE(s.has_relationship(1, 3));
+}
+
+TEST(RelStore, RoleQueries) {
+  RelStore s = testutil::make_rels({"1>2", "1~3"});
+  EXPECT_TRUE(s.is_provider_of(1, 2));
+  EXPECT_TRUE(s.is_customer_of(2, 1));
+  EXPECT_TRUE(s.is_peer_of(1, 3));
+  EXPECT_FALSE(s.is_provider_of(2, 1));
+  EXPECT_EQ(s.customers(1).size(), 1u);
+  EXPECT_EQ(s.providers(2).size(), 1u);
+  EXPECT_EQ(s.peers(1).size(), 1u);
+  EXPECT_TRUE(s.customers(99).empty());
+}
+
+TEST(RelStore, IdempotentEdges) {
+  RelStore s;
+  s.add_p2c(1, 2);
+  s.add_p2c(1, 2);
+  s.add_p2p(3, 4);
+  s.add_p2p(4, 3);
+  EXPECT_EQ(s.p2c_edges(), 1u);
+  EXPECT_EQ(s.p2p_edges(), 1u);  // one undirected edge
+  s.add_p2c(5, 5);               // self edges ignored
+  EXPECT_EQ(s.p2c_edges(), 1u);
+}
+
+TEST(RelStore, ConeIncludesSelfAndTransitiveCustomers) {
+  RelStore s = testutil::make_rels({"1>2", "2>3", "2>4", "5~1"});
+  EXPECT_EQ(s.cone_size(1), 4u);  // 1,2,3,4
+  EXPECT_EQ(s.cone_size(2), 3u);
+  EXPECT_EQ(s.cone_size(3), 1u);
+  EXPECT_EQ(s.cone_size(5), 1u);  // peers don't contribute
+  EXPECT_EQ(s.cone_size(42), 1u); // unknown AS: itself
+  EXPECT_TRUE(s.in_cone(1, 3));
+  EXPECT_TRUE(s.in_cone(1, 1));
+  EXPECT_FALSE(s.in_cone(3, 1));
+  EXPECT_FALSE(s.in_cone(5, 2));
+}
+
+TEST(RelStore, ConeWithDiamond) {
+  // 1 -> {2,3} -> 4: 4 counted once.
+  RelStore s = testutil::make_rels({"1>2", "1>3", "2>4", "3>4"});
+  EXPECT_EQ(s.cone_size(1), 4u);
+}
+
+TEST(RelStore, ConeSurvivesCycles) {
+  // Inferred data can contain p2c cycles; finalize must terminate.
+  RelStore s;
+  s.add_p2c(1, 2);
+  s.add_p2c(2, 3);
+  s.add_p2c(3, 1);
+  s.finalize();
+  EXPECT_GE(s.cone_size(1), 1u);
+  EXPECT_LE(s.cone_size(1), 3u);
+}
+
+TEST(RelStore, AsesSorted) {
+  RelStore s = testutil::make_rels({"30>20", "10~20"});
+  EXPECT_EQ(s.ases(), (std::vector<Asn>{10, 20, 30}));
+}
+
+// ---------------------------------------------------------------------
+// serial-1 file format
+// ---------------------------------------------------------------------
+
+TEST(Serial1, LoadsBasicFile) {
+  std::istringstream in(
+      "# comment\n"
+      "1|2|-1\n"
+      "3|4|0\n"
+      "5|6|-1|bgp\n");  // newer files append a source column
+  RelStore s;
+  EXPECT_EQ(asrel::load_serial1(in, s), 0u);
+  EXPECT_EQ(s.rel(1, 2), Rel::p2c);
+  EXPECT_EQ(s.rel(3, 4), Rel::p2p);
+  EXPECT_EQ(s.rel(5, 6), Rel::p2c);
+}
+
+TEST(Serial1, CountsMalformed) {
+  std::istringstream in("1|2\nx|y|-1\n1|2|7\n1|2|-1\n");
+  RelStore s;
+  EXPECT_EQ(asrel::load_serial1(in, s), 3u);
+  EXPECT_EQ(s.rel(1, 2), Rel::p2c);
+}
+
+TEST(Serial1, RoundTrip) {
+  RelStore s = testutil::make_rels({"1>2", "1>3", "2~3", "4>1"});
+  std::stringstream buf;
+  asrel::write_serial1(buf, s);
+  RelStore loaded;
+  EXPECT_EQ(asrel::load_serial1(buf, loaded), 0u);
+  loaded.finalize();
+  for (Asn a : {1u, 2u, 3u, 4u})
+    for (Asn b : {1u, 2u, 3u, 4u}) EXPECT_EQ(loaded.rel(a, b), s.rel(a, b));
+  EXPECT_EQ(loaded.cone_size(4), s.cone_size(4));
+}
+
+// ---------------------------------------------------------------------
+// Inference from AS paths
+// ---------------------------------------------------------------------
+
+namespace {
+
+// A small fixed hierarchy: clique {1,2,3}, transits {10,11}, stubs
+// {100,101,102}; 10~11 peer at the edge.
+asrel::Inferencer hierarchy_paths() {
+  asrel::InferOptions opt;
+  opt.fixed_clique = {1, 2, 3};  // tiny fixtures can't rank the clique
+  asrel::Inferencer inf(opt);
+  using P = std::vector<Asn>;
+  // 10 hangs off {1,2}; 11 hangs off {2,3}; neither transit touches
+  // all three tier-1s, so the clique stays {1,2,3}.
+  const std::vector<P> paths = {
+      // clique mesh traffic down to the stubs
+      {1, 2, 10, 100}, {3, 2, 10, 100}, {1, 2, 10, 100},
+      {2, 3, 11, 101}, {1, 3, 11, 101}, {2, 3, 11, 101},
+      {3, 2, 10, 102}, {1, 2, 10, 102},
+      // customer routes up through providers
+      {10, 1, 3, 11, 101}, {11, 2, 1, 10, 100}, {10, 2, 3, 11, 101},
+      {11, 3, 1, 10, 100},
+      // peer link 10~11 seen from both sides
+      {10, 11, 101}, {11, 10, 100}, {10, 11, 101}, {11, 10, 102},
+      // multihomed stub 102
+      {10, 102}, {11, 102}, {1, 10, 102}, {2, 11, 102},
+  };
+  for (const auto& p : paths) inf.add_path(p);
+  return inf;
+}
+
+}  // namespace
+
+TEST(Infer, SanitizesPaths) {
+  asrel::Inferencer inf;
+  inf.add_path({1, 2, 2, 3});        // prepending compressed, accepted
+  inf.add_path({1, 2, 1});           // loop rejected
+  inf.add_path({1});                 // too short
+  inf.add_path({1, 23456, 3});       // reserved ASN
+  inf.add_path({1, 0, 3});           // AS 0
+  EXPECT_EQ(inf.accepted_paths(), 1u);
+  EXPECT_EQ(inf.rejected_paths(), 4u);
+}
+
+TEST(Infer, FixedCliqueHonored) {
+  auto inf = hierarchy_paths();
+  EXPECT_EQ(inf.clique(), (std::vector<Asn>{1, 2, 3}));
+}
+
+TEST(Infer, FindsCliqueOnSimulatedInternet) {
+  // Clique ranking needs realistic path volume; check it on the
+  // simulator's RIB where Tier-1s genuinely dominate transit degree.
+  topo::SimParams params = topo::small_params();
+  topo::Internet net = topo::Internet::generate(params);
+  asrel::Inferencer inf;
+  for (const auto& p : net.rib().paths()) inf.add_path(p);
+  std::size_t tier1_members = 0;
+  for (Asn a : inf.clique())
+    if (net.as_index(a) >= 0 &&
+        net.ases()[static_cast<std::size_t>(net.as_index(a))].tier ==
+            topo::AsTier::tier1)
+      ++tier1_members;
+  EXPECT_GE(tier1_members, params.tier1 / 2);
+}
+
+TEST(Infer, TransitDegreesCountMidPathNeighbors) {
+  asrel::Inferencer inf;
+  inf.add_path({1, 2, 3});
+  inf.add_path({4, 2, 5});
+  const auto d = inf.transit_degrees();
+  EXPECT_EQ(d.at(2), 4u);
+  EXPECT_FALSE(d.contains(1));  // never mid-path
+}
+
+TEST(Infer, InfersCustomerDirection) {
+  auto store = hierarchy_paths().infer();
+  EXPECT_EQ(store.rel(1, 10), Rel::p2c);
+  EXPECT_EQ(store.rel(2, 10), Rel::p2c);
+  EXPECT_EQ(store.rel(3, 11), Rel::p2c);
+  EXPECT_EQ(store.rel(10, 100), Rel::p2c);
+  EXPECT_EQ(store.rel(11, 101), Rel::p2c);
+  EXPECT_EQ(store.rel(10, 102), Rel::p2c);
+  EXPECT_EQ(store.rel(11, 102), Rel::p2c);
+}
+
+TEST(Infer, CliqueMembersArePeers) {
+  auto store = hierarchy_paths().infer();
+  EXPECT_EQ(store.rel(1, 2), Rel::p2p);
+  EXPECT_EQ(store.rel(2, 3), Rel::p2p);
+  EXPECT_EQ(store.rel(1, 3), Rel::p2p);
+}
+
+TEST(Infer, BalancedVotesBecomePeering) {
+  auto store = hierarchy_paths().infer();
+  EXPECT_EQ(store.rel(10, 11), Rel::p2p);
+}
+
+TEST(Infer, ConesComputedOnInferredStore) {
+  auto store = hierarchy_paths().infer();
+  EXPECT_GE(store.cone_size(1), 3u);
+  EXPECT_EQ(store.cone_size(100), 1u);
+}
+
+// Property: on the synthetic Internet's RIB paths, the inference gets
+// the direction of the vast majority of observed transit links right.
+TEST(Infer, RecoversSimulatedHierarchy) {
+  topo::SimParams params = topo::small_params();
+  topo::Internet net = topo::Internet::generate(params);
+  asrel::Inferencer inf;
+  for (const auto& p : net.rib().paths()) inf.add_path(p);
+  auto inferred = inf.infer();
+  const auto& truth = net.relationships();
+
+  std::size_t ok = 0, flipped = 0, total = 0;
+  for (Asn a : truth.ases()) {
+    for (Asn c : truth.customers(a)) {
+      const Rel r = inferred.rel(a, c);
+      if (r == Rel::none) continue;  // link not visible in paths
+      ++total;
+      if (r == Rel::p2c) ++ok;
+      if (r == Rel::c2p) ++flipped;
+    }
+  }
+  ASSERT_GT(total, 50u);
+  EXPECT_GT(static_cast<double>(ok) / static_cast<double>(total), 0.75);
+  EXPECT_LT(static_cast<double>(flipped) / static_cast<double>(total), 0.15);
+}

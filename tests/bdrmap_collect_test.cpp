@@ -1,0 +1,94 @@
+// Tests for bdrmap's reactive data-collection component.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "topo/bdrmap_collect.hpp"
+
+namespace {
+
+const topo::Internet& net() {
+  static topo::Internet n = topo::Internet::generate(topo::small_params());
+  return n;
+}
+
+}  // namespace
+
+TEST(BdrmapCollect, ProbesEveryAnnouncedPrefix) {
+  const auto coll = topo::bdrmap_collect(net(), 0);
+  // At least one trace per announced AS (reactive probes add more).
+  std::unordered_set<netbase::IPAddr> dests;
+  for (const auto& t : coll.traces) dests.insert(t.dst);
+  std::size_t announced = 0;
+  for (const auto& as : net().ases())
+    if (as.announced) ++announced;
+  EXPECT_GE(dests.size(), announced / 2);  // silent networks drop probes
+  EXPECT_EQ(coll.vp.as_idx, 0);
+}
+
+TEST(BdrmapCollect, ReactiveProbingTriggers) {
+  const auto coll = topo::bdrmap_collect(net(), 0);
+  // Firewalled/silent edges guarantee off-path-looking first probes.
+  EXPECT_GT(coll.reactive_probes, 0u);
+}
+
+TEST(BdrmapCollect, ReprobesTargetSamePrefix) {
+  topo::BdrmapCollectOptions opt;
+  opt.reprobe_count = 3;
+  const auto coll = topo::bdrmap_collect(net(), 0, opt);
+  // Count traces per destination AS block: reactive prefixes have > 1.
+  std::size_t multi = 0;
+  std::unordered_map<netbase::Asn, std::size_t> per_block;
+  for (const auto& t : coll.traces)
+    for (const auto& as : net().ases())
+      if (as.block.contains(t.dst)) ++per_block[as.asn];
+  for (const auto& [asn, count] : per_block)
+    if (count > 1) ++multi;
+  EXPECT_GT(multi, 0u);
+}
+
+TEST(BdrmapCollect, AliasesCoverOnlyNearRouters) {
+  // A regional VP sees multi-interface neighbor routers (multihomed
+  // customers with parallel links); tier-1 VPs on the tiny test
+  // topology may legitimately observe only one interface per router.
+  const int vp_as = net().re1_gt();
+  topo::BdrmapCollectOptions opt;
+  opt.alias_resolved_prob = 1.0;
+  const auto coll = topo::bdrmap_collect(net(), vp_as, opt);
+  ASSERT_FALSE(coll.aliases.empty());
+  // Every aliased group maps to one router in or adjacent to the VP AS.
+  for (const auto& group : coll.aliases.sets()) {
+    int router = -1;
+    for (const auto& addr : group) {
+      const int fid = net().iface_by_addr(addr);
+      ASSERT_GE(fid, 0);
+      const int r = net().ifaces()[static_cast<std::size_t>(fid)].router;
+      if (router < 0) router = r;
+      EXPECT_EQ(r, router);
+    }
+    // Near-VP: the router is in the VP AS or directly linked to it.
+    const int as_idx = net().routers()[static_cast<std::size_t>(router)].as_idx;
+    if (as_idx == vp_as) continue;
+    bool adjacent = false;
+    for (const auto& l : net().links()) {
+      if (l.kind != topo::LinkKind::interdomain) continue;
+      const int ra = net().ifaces()[static_cast<std::size_t>(l.a_iface)].router;
+      const int rb = net().ifaces()[static_cast<std::size_t>(l.b_iface)].router;
+      if ((ra == router &&
+           net().routers()[static_cast<std::size_t>(rb)].as_idx == vp_as) ||
+          (rb == router &&
+           net().routers()[static_cast<std::size_t>(ra)].as_idx == vp_as))
+        adjacent = true;
+    }
+    EXPECT_TRUE(adjacent) << "router " << router;
+  }
+}
+
+TEST(BdrmapCollect, Deterministic) {
+  const auto a = topo::bdrmap_collect(net(), 3);
+  const auto b = topo::bdrmap_collect(net(), 3);
+  EXPECT_EQ(a.traces, b.traces);
+  EXPECT_EQ(a.reactive_probes, b.reactive_probes);
+  EXPECT_EQ(a.aliases.size(), b.aliases.size());
+}

@@ -1,0 +1,291 @@
+// Unit tests for the BGP module: RIB parsing, RIR delegations, IXP
+// prefixes, and the combined Ip2AS precedence rules (paper §4.1).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bgp/delegations.hpp"
+#include "bgp/ip2as.hpp"
+#include "bgp/rib.hpp"
+
+using netbase::IPAddr;
+using netbase::Prefix;
+
+// ---------------------------------------------------------------------
+// RIB line parsing
+// ---------------------------------------------------------------------
+
+TEST(RibParse, PathFormat) {
+  bgp::Rib rib;
+  ASSERT_TRUE(rib.add_line("203.0.113.0/24 3356 1299 64496"));
+  ASSERT_EQ(rib.routes().size(), 1u);
+  const auto& r = rib.routes()[0];
+  EXPECT_EQ(r.prefix, Prefix::must_parse("203.0.113.0/24"));
+  EXPECT_EQ(r.path, (std::vector<netbase::Asn>{3356, 1299, 64496}));
+  EXPECT_EQ(r.origins, (std::vector<netbase::Asn>{64496}));
+}
+
+TEST(RibParse, PathFormatWithAsSetOrigin) {
+  bgp::Rib rib;
+  ASSERT_TRUE(rib.add_line("203.0.113.0/24 3356 {64496,64497}"));
+  EXPECT_EQ(rib.routes()[0].origins, (std::vector<netbase::Asn>{64496, 64497}));
+}
+
+TEST(RibParse, Prefix2AsFormat) {
+  bgp::Rib rib;
+  ASSERT_TRUE(rib.add_line("203.0.113.0\t24\t64496"));
+  EXPECT_EQ(rib.routes()[0].prefix, Prefix::must_parse("203.0.113.0/24"));
+  EXPECT_EQ(rib.routes()[0].origins, (std::vector<netbase::Asn>{64496}));
+  EXPECT_TRUE(rib.routes()[0].path.empty());
+}
+
+TEST(RibParse, Prefix2AsMoas) {
+  bgp::Rib rib;
+  ASSERT_TRUE(rib.add_line("203.0.113.0 24 64496_64497"));
+  EXPECT_EQ(rib.routes()[0].origins, (std::vector<netbase::Asn>{64496, 64497}));
+  bgp::Rib rib2;
+  ASSERT_TRUE(rib2.add_line("203.0.113.0 24 64496,64497"));
+  EXPECT_EQ(rib2.routes()[0].origins, (std::vector<netbase::Asn>{64496, 64497}));
+}
+
+TEST(RibParse, SkipsCommentsAndBlank) {
+  bgp::Rib rib;
+  std::string err;
+  EXPECT_FALSE(rib.add_line("# comment", &err));
+  EXPECT_TRUE(err.empty());
+  EXPECT_FALSE(rib.add_line("   ", &err));
+  EXPECT_TRUE(err.empty());
+}
+
+TEST(RibParse, ReportsMalformed) {
+  bgp::Rib rib;
+  std::string err;
+  for (const char* bad :
+       {"203.0.113.0/24", "notaprefix/24 1 2", "203.0.113.0/99 1", "1.2.3.0 24",
+        "1.2.3.0 24 x", "1.2.3.0/24 12 {13,", "1.2.3.0 99 12"}) {
+    err.clear();
+    EXPECT_FALSE(rib.add_line(bad, &err)) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+  EXPECT_TRUE(rib.routes().empty());
+}
+
+TEST(RibParse, AggregatesOriginsPerPrefix) {
+  bgp::Rib rib;
+  rib.add_line("10.0.0.0/8 1 2 3");
+  rib.add_line("10.0.0.0/8 7 3");
+  rib.add_line("10.0.0.0/8 9 4");
+  const auto& origins = rib.origins().at(Prefix::must_parse("10.0.0.0/8"));
+  EXPECT_EQ(origins, (std::vector<netbase::Asn>{3, 4}));
+}
+
+TEST(RibParse, StreamReadCountsMalformed) {
+  std::istringstream in(
+      "# routes\n10.0.0.0/8 1 2\nbroken line here\n192.0.2.0/24 7 8\n");
+  bgp::Rib rib;
+  EXPECT_EQ(rib.read(in), 1u);
+  EXPECT_EQ(rib.routes().size(), 2u);
+  EXPECT_EQ(rib.paths().size(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// RIR delegations
+// ---------------------------------------------------------------------
+
+TEST(Delegations, V4RangeDecomposition) {
+  // 768 = 512 + 256 -> /23 + /24.
+  auto ps = bgp::v4_range_to_prefixes(IPAddr::must_parse("193.0.0.0"), 768);
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps[0].to_string(), "193.0.0.0/23");
+  EXPECT_EQ(ps[1].to_string(), "193.0.2.0/24");
+}
+
+TEST(Delegations, V4RangeRespectsAlignment) {
+  // Start not aligned for 512: 193.0.1.0 + 512 -> /24 + /24 ... at the
+  // right boundaries.
+  auto ps = bgp::v4_range_to_prefixes(IPAddr::must_parse("193.0.1.0"), 512);
+  std::uint64_t total = 0;
+  for (const auto& p : ps) {
+    total += p.v4_size();
+    EXPECT_TRUE(p.contains(p.addr()));
+  }
+  EXPECT_EQ(total, 512u);
+  EXPECT_EQ(ps[0].to_string(), "193.0.1.0/24");
+}
+
+TEST(Delegations, ParsesIpv4Line) {
+  std::vector<bgp::Delegation> out;
+  ASSERT_TRUE(bgp::parse_delegation_line(
+      "ripencc|NL|ipv4|193.0.0.0|1024|19930901|allocated|64496", out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].prefix.to_string(), "193.0.0.0/22");
+  EXPECT_EQ(out[0].asn, 64496u);
+}
+
+TEST(Delegations, ParsesIpv6Line) {
+  std::vector<bgp::Delegation> out;
+  ASSERT_TRUE(bgp::parse_delegation_line(
+      "apnic|JP|ipv6|2001:db8::|32|20040101|assigned|131072", out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].prefix.to_string(), "2001:db8::/32");
+}
+
+TEST(Delegations, SkipsIrrelevantLines) {
+  std::vector<bgp::Delegation> out;
+  EXPECT_FALSE(bgp::parse_delegation_line("# header", out));
+  EXPECT_FALSE(bgp::parse_delegation_line("arin|*|ipv4|*|43008|summary", out));
+  EXPECT_FALSE(bgp::parse_delegation_line(
+      "arin|US|asn|64496|1|20000101|assigned|opaque-id", out));
+  EXPECT_FALSE(bgp::parse_delegation_line(
+      "arin|US|ipv4|8.0.0.0|256|20000101|reserved|64496", out));
+  EXPECT_FALSE(bgp::parse_delegation_line(
+      "arin|US|ipv4|8.0.0.0|256|20000101|allocated|not-an-asn", out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Delegations, ReadsWholeFile) {
+  std::istringstream in(
+      "# exchange format\n"
+      "ripencc|NL|ipv4|193.0.0.0|256|19930901|allocated|100\n"
+      "ripencc|NL|ipv4|193.0.1.0|256|19930901|assigned|101\n"
+      "ripencc|NL|asn|200|1|19930901|assigned|x\n");
+  const auto out = bgp::read_delegations(in);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].asn, 100u);
+  EXPECT_EQ(out[1].asn, 101u);
+}
+
+// ---------------------------------------------------------------------
+// Ip2AS precedence
+// ---------------------------------------------------------------------
+
+namespace {
+
+bgp::Ip2AS small_map() {
+  bgp::Rib rib;
+  rib.add_line("20.0.0.0/8 1 100");
+  rib.add_line("20.1.0.0/16 1 200");
+  std::vector<bgp::Delegation> dels{
+      {Prefix::must_parse("20.2.0.0/16"), 300},   // covered by BGP 20/8
+      {Prefix::must_parse("172.20.0.0/16"), 0},   // kNoAs never happens; keep 0 out
+      {Prefix::must_parse("198.18.0.0/15"), 400}, // uncovered -> used
+  };
+  std::vector<Prefix> ixps{Prefix::must_parse("206.0.0.0/24")};
+  return bgp::Ip2AS::build(rib, dels, ixps);
+}
+
+}  // namespace
+
+TEST(Ip2AS, BgpLongestMatch) {
+  const auto map = small_map();
+  EXPECT_EQ(map.asn(IPAddr::must_parse("20.0.0.1")), 100u);
+  EXPECT_EQ(map.asn(IPAddr::must_parse("20.1.2.3")), 200u);
+  EXPECT_EQ(map.lookup(IPAddr::must_parse("20.1.2.3")).kind, bgp::OriginKind::bgp);
+}
+
+TEST(Ip2AS, DelegationCoveredByBgpIsDropped) {
+  const auto map = small_map();
+  // 20.2/16 delegation is covered by the 20/8 announcement: BGP wins.
+  const auto o = map.lookup(IPAddr::must_parse("20.2.0.1"));
+  EXPECT_EQ(o.kind, bgp::OriginKind::bgp);
+  EXPECT_EQ(o.asn, 100u);
+}
+
+TEST(Ip2AS, UncoveredDelegationUsed) {
+  const auto map = small_map();
+  const auto o = map.lookup(IPAddr::must_parse("198.18.5.5"));
+  EXPECT_EQ(o.kind, bgp::OriginKind::rir);
+  EXPECT_EQ(o.asn, 400u);
+  EXPECT_TRUE(o.announced());
+}
+
+TEST(Ip2AS, IxpPrefixSpecialCased) {
+  const auto map = small_map();
+  const auto o = map.lookup(IPAddr::must_parse("206.0.0.7"));
+  EXPECT_TRUE(o.is_ixp());
+  EXPECT_EQ(o.asn, netbase::kNoAs);
+  EXPECT_FALSE(o.announced());
+}
+
+TEST(Ip2AS, IxpBeatsBgpWhenLeaked) {
+  bgp::Rib rib;
+  rib.add_line("206.0.0.0/24 1 500");  // a member leaks the IXP prefix
+  auto map = bgp::Ip2AS::build(rib, {}, {Prefix::must_parse("206.0.0.0/24")});
+  EXPECT_TRUE(map.lookup(IPAddr::must_parse("206.0.0.9")).is_ixp());
+}
+
+TEST(Ip2AS, PrivateShortCircuits) {
+  bgp::Rib rib;
+  rib.add_line("10.0.0.0/8 1 100");  // even announced, private wins
+  auto map = bgp::Ip2AS::build(rib, {}, {});
+  EXPECT_EQ(map.lookup(IPAddr::must_parse("192.168.1.1")).kind,
+            bgp::OriginKind::private_addr);
+  EXPECT_EQ(map.lookup(IPAddr::must_parse("10.9.9.9")).kind,
+            bgp::OriginKind::private_addr);
+}
+
+TEST(Ip2AS, UnannouncedIsNone) {
+  const auto map = small_map();
+  const auto o = map.lookup(IPAddr::must_parse("203.0.113.1"));
+  EXPECT_EQ(o.kind, bgp::OriginKind::none);
+  EXPECT_FALSE(o.announced());
+}
+
+TEST(Ip2AS, MoasResolvesToSmallestAsn) {
+  bgp::Rib rib;
+  rib.add_line("203.0.113.0/24 1 700");
+  rib.add_line("203.0.113.0/24 2 600");
+  auto map = bgp::Ip2AS::build(rib, {}, {});
+  EXPECT_EQ(map.asn(IPAddr::must_parse("203.0.113.1")), 600u);
+}
+
+TEST(Ip2AS, ReaderParsesIxpPrefixList) {
+  std::istringstream in("# ixp prefixes\n206.0.0.0/24\n\n  206.1.0.0/24  \nbad\n");
+  const auto ps = bgp::Ip2AS::read_ixp_prefixes(in);
+  ASSERT_EQ(ps.size(), 2u);
+  EXPECT_EQ(ps[0].to_string(), "206.0.0.0/24");
+  EXPECT_EQ(ps[1].to_string(), "206.1.0.0/24");
+}
+
+// ---------------------------------------------------------------------
+// bgpdump (TABLE_DUMP2) one-line format
+// ---------------------------------------------------------------------
+
+TEST(RibParse, BgpdumpTableDump2) {
+  bgp::Rib rib;
+  ASSERT_TRUE(rib.add_line(
+      "TABLE_DUMP2|1518048000|B|198.51.100.1|3356|203.0.113.0/24|3356 1299 "
+      "64496|IGP|198.51.100.1|0|0||NAG||"));
+  ASSERT_EQ(rib.routes().size(), 1u);
+  EXPECT_EQ(rib.routes()[0].prefix, Prefix::must_parse("203.0.113.0/24"));
+  EXPECT_EQ(rib.routes()[0].path, (std::vector<netbase::Asn>{3356, 1299, 64496}));
+  EXPECT_EQ(rib.routes()[0].origins, (std::vector<netbase::Asn>{64496}));
+}
+
+TEST(RibParse, BgpdumpWithAsSetOrigin) {
+  bgp::Rib rib;
+  ASSERT_TRUE(rib.add_line(
+      "TABLE_DUMP2|1518048000|B|peer|174|198.51.100.0/24|174 {64496,64497}|IGP"));
+  EXPECT_EQ(rib.routes()[0].origins, (std::vector<netbase::Asn>{64496, 64497}));
+}
+
+TEST(RibParse, BgpdumpV6Prefix) {
+  bgp::Rib rib;
+  ASSERT_TRUE(rib.add_line(
+      "TABLE_DUMP2|1518048000|B|2001:db8::1|3356|2001:db8:1000::/36|3356 64496|IGP"));
+  EXPECT_EQ(rib.routes()[0].prefix, Prefix::must_parse("2001:db8:1000::/36"));
+}
+
+TEST(RibParse, BgpdumpMalformed) {
+  bgp::Rib rib;
+  std::string err;
+  for (const char* bad :
+       {"TABLE_DUMP2|1|B|p|174", "TABLE_DUMP2|1|B|p|174|nonsense|174 1",
+        "TABLE_DUMP2|1|B|p|174|1.2.3.0/24|not asns",
+        "TABLE_DUMP2|1|B|p|174|1.2.3.0/24|"}) {
+    err.clear();
+    EXPECT_FALSE(rib.add_line(bad, &err)) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}

@@ -1,0 +1,74 @@
+# tests/cli_pipeline.cmake — end-to-end CLI test driven by ctest.
+#
+# gen_testdata writes a synthetic bundle; bdrmapit_cli maps it (native
+# and ITDK outputs); ip2as_cli resolves addresses from the bundle's own
+# ground truth file. Any nonzero exit or missing/empty output fails.
+
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}")
+  endif()
+endfunction()
+
+function(check_nonempty path)
+  if(NOT EXISTS ${path})
+    message(FATAL_ERROR "missing output: ${path}")
+  endif()
+  file(SIZE ${path} size)
+  if(size LESS 64)
+    message(FATAL_ERROR "suspiciously small output (${size} bytes): ${path}")
+  endif()
+endfunction()
+
+file(REMOVE_RECURSE ${OUT})
+file(MAKE_DIRECTORY ${OUT})
+
+run(${GEN} --out ${OUT}/data --vps 10 --seed 3 --scale small)
+check_nonempty(${OUT}/data/traces.txt)
+check_nonempty(${OUT}/data/rib.txt)
+check_nonempty(${OUT}/data/rels.txt)
+check_nonempty(${OUT}/data/ground_truth.tsv)
+
+run(${CLI}
+    --traces ${OUT}/data/traces.txt
+    --rib ${OUT}/data/rib.txt
+    --rels ${OUT}/data/rels.txt
+    --delegations ${OUT}/data/delegations.txt
+    --ixp ${OUT}/data/ixp.txt
+    --aliases ${OUT}/data/aliases.nodes
+    --output ${OUT}/annotations.tsv
+    --as-links ${OUT}/aslinks.tsv
+    --itdk ${OUT}/itdk)
+check_nonempty(${OUT}/annotations.tsv)
+check_nonempty(${OUT}/aslinks.tsv)
+check_nonempty(${OUT}/itdk.nodes)
+check_nonempty(${OUT}/itdk.nodes.as)
+
+# An ablation switch must also run cleanly.
+run(${CLI}
+    --traces ${OUT}/data/traces.txt
+    --rib ${OUT}/data/rib.txt
+    --rels ${OUT}/data/rels.txt
+    --no-third-party --no-hidden-as
+    --output ${OUT}/annotations_ablate.tsv)
+check_nonempty(${OUT}/annotations_ablate.tsv)
+
+# ip2as_cli over a handful of addresses pulled from ground truth.
+file(STRINGS ${OUT}/data/ground_truth.tsv gt_lines LIMIT_COUNT 12)
+set(addr_file ${OUT}/addrs.txt)
+file(WRITE ${addr_file} "")
+foreach(line IN LISTS gt_lines)
+  if(NOT line MATCHES "^#")
+    string(REGEX REPLACE "\t.*" "" addr "${line}")
+    file(APPEND ${addr_file} "${addr}\n")
+  endif()
+endforeach()
+execute_process(COMMAND ${IP2AS} --rib ${OUT}/data/rib.txt --addrs ${addr_file}
+                OUTPUT_FILE ${OUT}/ip2as.tsv RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ip2as_cli failed")
+endif()
+check_nonempty(${OUT}/ip2as.tsv)
+
+message(STATUS "cli pipeline OK")

@@ -1,0 +1,94 @@
+// Tests for the public core API surface: Result semantics, as_links
+// extraction, IfaceInference predicates, iteration stats plumbing.
+
+#include <gtest/gtest.h>
+
+#include "core/bdrmapit.hpp"
+#include "test_util.hpp"
+
+using netbase::IPAddr;
+using netbase::kNoAs;
+
+namespace {
+
+bgp::Ip2AS plan_ip2as() {
+  std::vector<std::pair<std::string, netbase::Asn>> prefixes;
+  for (int n = 1; n <= 9; ++n)
+    prefixes.emplace_back("20.0." + std::to_string(n) + ".0/24",
+                          static_cast<netbase::Asn>(n));
+  return testutil::make_ip2as(prefixes);
+}
+
+std::string ip(int as, int host) {
+  return "20.0." + std::to_string(as) + "." + std::to_string(host);
+}
+
+}  // namespace
+
+TEST(CoreApi, IfaceInferencePredicates) {
+  core::IfaceInference inf;
+  EXPECT_FALSE(inf.interdomain());  // both unset
+  inf.router_as = 1;
+  inf.conn_as = 1;
+  EXPECT_FALSE(inf.interdomain());  // internal
+  inf.conn_as = 2;
+  EXPECT_TRUE(inf.interdomain());
+  inf.router_as = kNoAs;
+  EXPECT_FALSE(inf.interdomain());  // unknown side never claims a border
+}
+
+TEST(CoreApi, AsLinksDeduplicatesAndNormalizes) {
+  // Two traces exposing the same 1-2 border from both flanks: one
+  // normalized AS-level link.
+  auto corpus = std::vector{
+      testutil::tr("a", ip(2, 9), {{1, ip(1, 1), 'T'}, {2, ip(1, 50), 'T'},
+                                   {3, ip(2, 1), 'T'}}),
+      testutil::tr("b", ip(2, 8), {{1, ip(1, 2), 'T'}, {2, ip(1, 50), 'T'},
+                                   {3, ip(2, 2), 'T'}})};
+  core::Result r = core::Bdrmapit::run(corpus, {}, plan_ip2as(),
+                                       testutil::make_rels({"1>2"}));
+  const auto links = r.as_links();
+  for (std::size_t i = 1; i < links.size(); ++i) EXPECT_LT(links[i - 1], links[i]);
+  for (const auto& [a, b] : links) EXPECT_LT(a, b);
+  bool found = false;
+  for (const auto& l : links)
+    if (l == std::pair<netbase::Asn, netbase::Asn>{1, 2}) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(CoreApi, ResultExposesIterationStats) {
+  auto corpus = std::vector{testutil::tr(
+      "a", ip(2, 9), {{1, ip(1, 1), 'T'}, {2, ip(2, 1), 'T'}})};
+  core::Result r = core::Bdrmapit::run(corpus, {}, plan_ip2as(),
+                                       testutil::make_rels({"1>2"}));
+  EXPECT_EQ(static_cast<int>(r.iteration_stats.size()), r.iterations);
+  ASSERT_GE(r.iterations, 1);
+}
+
+TEST(CoreApi, InterfacesKeyedByEveryObservedAddress) {
+  auto corpus = std::vector{testutil::tr(
+      "a", ip(3, 9),
+      {{1, "10.0.0.1", 'T'}, {2, ip(1, 1), 'T'}, {3, ip(2, 1), 'T'}})};
+  core::Result r =
+      core::Bdrmapit::run(corpus, {}, plan_ip2as(), testutil::make_rels({}));
+  EXPECT_EQ(r.interfaces.size(), 2u);  // the private gateway is excluded
+  EXPECT_TRUE(r.interfaces.contains(IPAddr::must_parse(ip(1, 1))));
+  EXPECT_FALSE(r.interfaces.contains(IPAddr::must_parse("10.0.0.1")));
+}
+
+TEST(CoreApi, EmptyCorpusYieldsEmptyResult) {
+  core::Result r =
+      core::Bdrmapit::run({}, {}, plan_ip2as(), testutil::make_rels({}));
+  EXPECT_TRUE(r.interfaces.empty());
+  EXPECT_TRUE(r.as_links().empty());
+}
+
+TEST(CoreApi, MaxIterationsRespected) {
+  auto corpus = std::vector{testutil::tr(
+      "a", ip(2, 9), {{1, ip(1, 1), 'T'}, {2, ip(2, 1), 'T'}})};
+  core::AnnotatorOptions opt;
+  opt.max_iterations = 1;
+  core::Result r = core::Bdrmapit::run(corpus, {}, plan_ip2as(),
+                                       testutil::make_rels({"1>2"}), opt);
+  EXPECT_EQ(r.iterations, 1);
+}

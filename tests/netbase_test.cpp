@@ -1,0 +1,292 @@
+// Unit tests for netbase: IP addresses, prefixes, ASNs, PRNG.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "netbase/asn.hpp"
+#include "netbase/ip_addr.hpp"
+#include "netbase/prefix.hpp"
+#include "netbase/rng.hpp"
+
+using netbase::Asn;
+using netbase::Family;
+using netbase::IPAddr;
+using netbase::Prefix;
+using netbase::SplitMix64;
+
+// ---------------------------------------------------------------------
+// IPAddr: IPv4 parsing
+// ---------------------------------------------------------------------
+
+TEST(IPAddrV4, ParsesDottedQuad) {
+  auto a = IPAddr::parse("192.0.2.1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(a->is_v4());
+  EXPECT_EQ(a->v4_value(), 0xC0000201u);
+}
+
+TEST(IPAddrV4, ParsesExtremes) {
+  EXPECT_EQ(IPAddr::must_parse("0.0.0.0").v4_value(), 0u);
+  EXPECT_EQ(IPAddr::must_parse("255.255.255.255").v4_value(), 0xFFFFFFFFu);
+}
+
+TEST(IPAddrV4, RejectsMalformed) {
+  for (const char* bad : {"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "1.2.3.256",
+                          "01.2.3.4", "1..2.3", "a.b.c.d", "1.2.3.4 ", " 1.2.3.4",
+                          "-1.2.3.4", "1,2,3,4"}) {
+    EXPECT_FALSE(IPAddr::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(IPAddrV4, RoundTripsToString) {
+  for (const char* s : {"0.0.0.0", "10.1.2.3", "172.16.254.1", "255.255.255.255"})
+    EXPECT_EQ(IPAddr::must_parse(s).to_string(), s);
+}
+
+TEST(IPAddrV4, V4ConstructorMatchesParse) {
+  EXPECT_EQ(IPAddr::v4(0x0A000001u), IPAddr::must_parse("10.0.0.1"));
+}
+
+// ---------------------------------------------------------------------
+// IPAddr: IPv6 parsing
+// ---------------------------------------------------------------------
+
+TEST(IPAddrV6, ParsesFullForm) {
+  auto a = IPAddr::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(a->is_v6());
+  EXPECT_EQ(a->to_string(), "2001:db8::1");
+}
+
+TEST(IPAddrV6, ParsesCompressed) {
+  EXPECT_EQ(IPAddr::must_parse("::").to_string(), "::");
+  EXPECT_EQ(IPAddr::must_parse("::1").to_string(), "::1");
+  EXPECT_EQ(IPAddr::must_parse("fe80::").to_string(), "fe80::");
+  EXPECT_EQ(IPAddr::must_parse("2001:db8::8:800:200c:417a").to_string(),
+            "2001:db8::8:800:200c:417a");
+}
+
+TEST(IPAddrV6, ParsesEmbeddedV4) {
+  auto a = IPAddr::must_parse("::ffff:192.0.2.1");
+  EXPECT_TRUE(a.is_v6());
+  EXPECT_EQ(a.raw()[10], 0xFF);
+  EXPECT_EQ(a.raw()[12], 192);
+  EXPECT_EQ(a.raw()[15], 1);
+}
+
+TEST(IPAddrV6, RejectsMalformed) {
+  for (const char* bad : {":::", "1:2:3:4:5:6:7", "1:2:3:4:5:6:7:8:9", "12345::",
+                          "::1::2", "g::1", "1:2:3:4:5:6:7:8:", "2001:db8:::1"}) {
+    EXPECT_FALSE(IPAddr::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(IPAddrV6, Rfc5952CompressesLongestRun) {
+  EXPECT_EQ(IPAddr::must_parse("1:0:0:2:0:0:0:3").to_string(), "1:0:0:2::3");
+  EXPECT_EQ(IPAddr::must_parse("1:0:2:3:4:5:6:7").to_string(), "1:0:2:3:4:5:6:7");
+}
+
+// ---------------------------------------------------------------------
+// IPAddr: bit operations and masking
+// ---------------------------------------------------------------------
+
+TEST(IPAddrBits, BitIndexesFromMsb) {
+  const IPAddr a = IPAddr::must_parse("128.0.0.1");
+  EXPECT_EQ(a.bit(0), 1u);
+  EXPECT_EQ(a.bit(1), 0u);
+  EXPECT_EQ(a.bit(31), 1u);
+}
+
+TEST(IPAddrBits, MaskedClearsHostBits) {
+  EXPECT_EQ(IPAddr::must_parse("192.0.2.255").masked(24),
+            IPAddr::must_parse("192.0.2.0"));
+  EXPECT_EQ(IPAddr::must_parse("192.0.2.255").masked(25),
+            IPAddr::must_parse("192.0.2.128"));
+  EXPECT_EQ(IPAddr::must_parse("192.0.2.255").masked(0),
+            IPAddr::must_parse("0.0.0.0"));
+  EXPECT_EQ(IPAddr::must_parse("192.0.2.255").masked(32),
+            IPAddr::must_parse("192.0.2.255"));
+}
+
+TEST(IPAddrBits, MatchesComparesPrefixBits) {
+  const IPAddr a = IPAddr::must_parse("10.1.128.0");
+  EXPECT_TRUE(a.matches(IPAddr::must_parse("10.1.255.255"), 17));
+  EXPECT_FALSE(a.matches(IPAddr::must_parse("10.1.127.255"), 17));
+  EXPECT_TRUE(a.matches(IPAddr::must_parse("99.99.99.99"), 0));
+  EXPECT_FALSE(a.matches(IPAddr::must_parse("::1"), 0));  // family mismatch
+}
+
+TEST(IPAddrBits, V6MaskedWorks) {
+  EXPECT_EQ(IPAddr::must_parse("2001:db8:ffff::1").masked(32),
+            IPAddr::must_parse("2001:db8::"));
+}
+
+// ---------------------------------------------------------------------
+// IPAddr: ordering, hashing, private detection
+// ---------------------------------------------------------------------
+
+TEST(IPAddrOrder, TotalOrderWithinAndAcrossFamilies) {
+  EXPECT_LT(IPAddr::must_parse("1.2.3.4"), IPAddr::must_parse("1.2.3.5"));
+  EXPECT_LT(IPAddr::must_parse("255.255.255.255"), IPAddr::must_parse("::"));
+}
+
+TEST(IPAddrHash, DistinctForDifferentAddresses) {
+  std::unordered_set<IPAddr> set;
+  for (std::uint32_t i = 0; i < 1000; ++i) set.insert(IPAddr::v4(i * 2654435761u));
+  EXPECT_EQ(set.size(), 1000u);
+}
+
+TEST(IPAddrPrivate, DetectsRfc1918AndSpecial) {
+  for (const char* p : {"10.0.0.1", "10.255.255.255", "172.16.0.1", "172.31.255.254",
+                        "192.168.1.1", "127.0.0.1", "169.254.10.10"})
+    EXPECT_TRUE(IPAddr::must_parse(p).is_private()) << p;
+  for (const char* p : {"9.255.255.255", "11.0.0.0", "172.15.255.255", "172.32.0.0",
+                        "192.167.255.255", "192.169.0.0", "8.8.8.8"})
+    EXPECT_FALSE(IPAddr::must_parse(p).is_private()) << p;
+}
+
+TEST(IPAddrPrivate, DetectsV6UlaAndLinkLocal) {
+  EXPECT_TRUE(IPAddr::must_parse("fc00::1").is_private());
+  EXPECT_TRUE(IPAddr::must_parse("fd12:3456::1").is_private());
+  EXPECT_TRUE(IPAddr::must_parse("fe80::1").is_private());
+  EXPECT_FALSE(IPAddr::must_parse("2001:db8::1").is_private());
+}
+
+// ---------------------------------------------------------------------
+// Prefix
+// ---------------------------------------------------------------------
+
+TEST(PrefixParse, ParsesAndCanonicalizes) {
+  auto p = Prefix::parse("192.0.2.77/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->to_string(), "192.0.2.0/24");
+  EXPECT_EQ(p->length(), 24);
+}
+
+TEST(PrefixParse, RejectsMalformed) {
+  for (const char* bad : {"", "1.2.3.4", "1.2.3.4/", "/24", "1.2.3.4/33",
+                          "1.2.3.4/-1", "1.2.3.4/2x", "2001:db8::/129"})
+    EXPECT_FALSE(Prefix::parse(bad).has_value()) << bad;
+}
+
+TEST(PrefixContains, AddressContainment) {
+  const Prefix p = Prefix::must_parse("10.0.0.0/9");
+  EXPECT_TRUE(p.contains(IPAddr::must_parse("10.127.255.255")));
+  EXPECT_FALSE(p.contains(IPAddr::must_parse("10.128.0.0")));
+  EXPECT_FALSE(p.contains(IPAddr::must_parse("2001:db8::1")));
+}
+
+TEST(PrefixContains, PrefixContainment) {
+  const Prefix p = Prefix::must_parse("10.0.0.0/8");
+  EXPECT_TRUE(p.contains(Prefix::must_parse("10.1.0.0/16")));
+  EXPECT_TRUE(p.contains(Prefix::must_parse("10.0.0.0/8")));
+  EXPECT_FALSE(p.contains(Prefix::must_parse("0.0.0.0/0")));
+  EXPECT_FALSE(p.contains(Prefix::must_parse("11.0.0.0/16")));
+}
+
+TEST(PrefixOps, SizeAndIndexing) {
+  const Prefix p = Prefix::must_parse("192.0.2.0/30");
+  EXPECT_EQ(p.v4_size(), 4u);
+  EXPECT_EQ(p.v4_at(0), IPAddr::must_parse("192.0.2.0"));
+  EXPECT_EQ(p.v4_at(3), IPAddr::must_parse("192.0.2.3"));
+}
+
+TEST(PrefixOps, Halves) {
+  const auto [lo, hi] = Prefix::must_parse("10.0.0.0/8").v4_halves();
+  EXPECT_EQ(lo.to_string(), "10.0.0.0/9");
+  EXPECT_EQ(hi.to_string(), "10.128.0.0/9");
+}
+
+TEST(PrefixOps, V6Prefixes) {
+  const Prefix p = Prefix::must_parse("2001:db8::/32");
+  EXPECT_TRUE(p.contains(IPAddr::must_parse("2001:db8:ffff::1")));
+  EXPECT_FALSE(p.contains(IPAddr::must_parse("2001:db9::1")));
+}
+
+// ---------------------------------------------------------------------
+// ASN parsing
+// ---------------------------------------------------------------------
+
+TEST(AsnParse, Decimal) {
+  EXPECT_EQ(netbase::parse_asn("64512"), 64512u);
+  EXPECT_EQ(netbase::parse_asn("4294967295"), 4294967295u);
+  EXPECT_FALSE(netbase::parse_asn("4294967296").has_value());
+  EXPECT_FALSE(netbase::parse_asn("").has_value());
+  EXPECT_FALSE(netbase::parse_asn("12x").has_value());
+}
+
+TEST(AsnParse, Asdot) {
+  EXPECT_EQ(netbase::parse_asn("1.0"), 65536u);
+  EXPECT_EQ(netbase::parse_asn("65535.65535"), 4294967295u);
+  EXPECT_FALSE(netbase::parse_asn("65536.0").has_value());
+  EXPECT_FALSE(netbase::parse_asn("1.65536").has_value());
+  EXPECT_FALSE(netbase::parse_asn("1.").has_value());
+}
+
+TEST(AsnReserved, FlagsReservedRanges) {
+  EXPECT_TRUE(netbase::is_reserved_asn(0));
+  EXPECT_TRUE(netbase::is_reserved_asn(23456));
+  EXPECT_TRUE(netbase::is_reserved_asn(64512));   // private use
+  EXPECT_TRUE(netbase::is_reserved_asn(4200000000u));
+  EXPECT_FALSE(netbase::is_reserved_asn(3356));
+  EXPECT_FALSE(netbase::is_reserved_asn(200000));
+}
+
+// ---------------------------------------------------------------------
+// SplitMix64
+// ---------------------------------------------------------------------
+
+TEST(SplitMix, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix, BelowStaysInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(13), 13u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(SplitMix, RangeInclusive) {
+  SplitMix64 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.range(3, 5));
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{3, 4, 5}));
+}
+
+TEST(SplitMix, ChanceEdgeCases) {
+  SplitMix64 rng(7);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(hits, 3000, 200);
+}
+
+// Property sweep: masked/matches consistency on random addresses.
+class MaskProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaskProperty, MaskedAddressMatchesOriginal) {
+  SplitMix64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const IPAddr a = IPAddr::v4(static_cast<std::uint32_t>(rng()));
+    const int len = static_cast<int>(rng.below(33));
+    const IPAddr m = a.masked(len);
+    EXPECT_TRUE(m.matches(a, len));
+    EXPECT_EQ(m.masked(len), m);  // idempotent
+    EXPECT_TRUE(Prefix(a, len).contains(a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaskProperty, ::testing::Values(1, 2, 3, 4, 5));

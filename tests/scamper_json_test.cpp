@@ -1,0 +1,153 @@
+// Tests for the scamper-style JSON traceroute reader/writer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.hpp"
+#include "tracedata/scamper_json.hpp"
+
+using netbase::IPAddr;
+using tracedata::ReplyType;
+using tracedata::Traceroute;
+
+TEST(ScamperJson, ParsesBasicTrace) {
+  auto t = tracedata::trace_from_json(
+      R"({"type":"trace","src":"ams3-nl","dst":"203.0.113.9",)"
+      R"("hops":[{"addr":"198.51.100.1","probe_ttl":1,"icmp_type":11},)"
+      R"({"addr":"203.0.113.9","probe_ttl":4,"icmp_type":0}]})");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->vp, "ams3-nl");
+  EXPECT_EQ(t->dst, IPAddr::must_parse("203.0.113.9"));
+  ASSERT_EQ(t->hops.size(), 2u);
+  EXPECT_EQ(t->hops[0].reply, ReplyType::time_exceeded);
+  EXPECT_EQ(t->hops[0].probe_ttl, 1);
+  EXPECT_EQ(t->hops[1].reply, ReplyType::echo_reply);
+  EXPECT_TRUE(t->reached_destination());
+}
+
+TEST(ScamperJson, IcmpTypeMapping) {
+  auto t = tracedata::trace_from_json(
+      R"({"dst":"203.0.113.9","hops":[)"
+      R"({"addr":"1.1.1.1","probe_ttl":1,"icmp_type":11},)"
+      R"({"addr":"2.2.2.2","probe_ttl":2,"icmp_type":3},)"
+      R"({"addr":"3.3.3.3","probe_ttl":3,"icmp_type":0}]})");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->hops[0].reply, ReplyType::time_exceeded);
+  EXPECT_EQ(t->hops[1].reply, ReplyType::dest_unreachable);
+  EXPECT_EQ(t->hops[2].reply, ReplyType::echo_reply);
+}
+
+TEST(ScamperJson, Icmp6TypeMapping) {
+  // In v6, type 3 is Time Exceeded and 129 Echo Reply.
+  auto t = tracedata::trace_from_json(
+      R"({"dst":"2001:db8::9","hops":[)"
+      R"({"addr":"2001:db8::1","probe_ttl":1,"icmp_type":3},)"
+      R"({"addr":"2001:db8::2","probe_ttl":2,"icmp_type":1},)"
+      R"({"addr":"2001:db8::9","probe_ttl":3,"icmp_type":129}]})");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->hops[0].reply, ReplyType::time_exceeded);
+  EXPECT_EQ(t->hops[1].reply, ReplyType::dest_unreachable);
+  EXPECT_EQ(t->hops[2].reply, ReplyType::echo_reply);
+}
+
+TEST(ScamperJson, HopsSortedAndDeduplicated) {
+  auto t = tracedata::trace_from_json(
+      R"({"dst":"9.9.9.9","hops":[)"
+      R"({"addr":"3.3.3.3","probe_ttl":3,"icmp_type":11},)"
+      R"({"addr":"1.1.1.1","probe_ttl":1,"icmp_type":11},)"
+      R"({"addr":"1.1.1.2","probe_ttl":1,"icmp_type":11}]})");
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(t->hops.size(), 2u);
+  EXPECT_EQ(t->hops[0].addr, IPAddr::must_parse("1.1.1.1"));  // first kept
+  EXPECT_EQ(t->hops[1].probe_ttl, 3);
+}
+
+TEST(ScamperJson, SkipsNonTraceRecords) {
+  std::string err;
+  EXPECT_FALSE(tracedata::trace_from_json(
+                   R"({"type":"cycle-start","id":1})", &err)
+                   .has_value());
+  EXPECT_TRUE(err.empty());
+  EXPECT_FALSE(tracedata::trace_from_json("# comment", &err).has_value());
+  EXPECT_TRUE(err.empty());
+  EXPECT_FALSE(tracedata::trace_from_json("", &err).has_value());
+  EXPECT_TRUE(err.empty());
+}
+
+TEST(ScamperJson, ReportsMalformed) {
+  std::string err;
+  for (const char* bad : {
+           "{not json",
+           R"({"type":"trace"})",                          // no dst
+           R"({"dst":"nonsense"})",                        // bad dst
+           R"({"dst":"1.2.3.4","hops":5})",                // hops not array
+           R"({"dst":"1.2.3.4","hops":[{"probe_ttl":1}]})",  // hop missing addr
+           R"({"dst":"1.2.3.4","hops":[{"addr":"1.1.1.1","probe_ttl":0}]})",
+           R"({"dst":"1.2.3.4"} trailing)",
+       }) {
+    err.clear();
+    EXPECT_FALSE(tracedata::trace_from_json(bad, &err).has_value()) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(ScamperJson, IgnoresUnknownKeysAndSkipsUnknownIcmp) {
+  auto t = tracedata::trace_from_json(
+      R"({"type":"trace","dst":"9.9.9.9","userid":0,"stop_reason":"GAPLIMIT",)"
+      R"("hops":[{"addr":"1.1.1.1","probe_ttl":1,"icmp_type":11,"rtt":12.3},)"
+      R"({"addr":"2.2.2.2","probe_ttl":2,"icmp_type":42}]})");
+  ASSERT_TRUE(t.has_value());
+  // The unknown icmp_type hop is dropped, the rest survives.
+  ASSERT_EQ(t->hops.size(), 1u);
+}
+
+TEST(ScamperJson, HandlesEscapesAndNesting) {
+  auto t = tracedata::trace_from_json(
+      R"({"type":"trace","src":"vpA\n","dst":"9.9.9.9",)"
+      R"("meta":{"nested":[1,2,{"x":true}]},"hops":[]})");
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->vp, "vpA\n");
+  EXPECT_TRUE(t->hops.empty());
+}
+
+TEST(ScamperJson, StreamReaderCounts) {
+  std::istringstream in(
+      R"({"type":"cycle-start"})" "\n"
+      R"({"type":"trace","src":"a","dst":"9.9.9.9","hops":[]})" "\n"
+      "garbage\n"
+      R"({"type":"trace","src":"b","dst":"8.8.8.8","hops":[]})" "\n");
+  std::size_t malformed = 0;
+  const auto traces = tracedata::read_json_traceroutes(in, &malformed);
+  EXPECT_EQ(traces.size(), 2u);
+  EXPECT_EQ(malformed, 1u);
+}
+
+TEST(ScamperJson, RoundTrip) {
+  std::vector<Traceroute> corpus{
+      testutil::tr("vp1", "203.0.113.9",
+                   {{1, "198.51.100.1", 'T'}, {2, "192.0.2.1", 'U'},
+                    {4, "203.0.113.9", 'E'}}),
+      testutil::tr("vp6", "2001:db8::9",
+                   {{1, "2001:db8::1", 'T'}, {3, "2001:db8::9", 'E'}}),
+  };
+  std::stringstream buf;
+  tracedata::write_json_traceroutes(buf, corpus);
+  std::size_t malformed = 0;
+  const auto back = tracedata::read_json_traceroutes(buf, &malformed);
+  EXPECT_EQ(malformed, 0u);
+  EXPECT_EQ(back, corpus);
+}
+
+TEST(ScamperJson, EquivalentToNativeFormat) {
+  // The same traceroute parsed from both formats is identical.
+  const auto native = tracedata::from_line(
+      "T|vp|203.0.113.9|1:198.51.100.1:T;4:203.0.113.9:E");
+  const auto json = tracedata::trace_from_json(
+      R"({"type":"trace","src":"vp","dst":"203.0.113.9",)"
+      R"("hops":[{"addr":"198.51.100.1","probe_ttl":1,"icmp_type":11},)"
+      R"({"addr":"203.0.113.9","probe_ttl":4,"icmp_type":0}]})");
+  ASSERT_TRUE(native.has_value());
+  ASSERT_TRUE(json.has_value());
+  EXPECT_EQ(*native, *json);
+}

@@ -1,0 +1,139 @@
+// Seed-sweep property tests: structural invariants of the synthetic
+// Internet must hold for every seed, not just the default. These are
+// the guarantees the whole evaluation rests on.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "eval/ground_truth.hpp"
+#include "topo/internet.hpp"
+#include "topo/tracer.hpp"
+
+namespace {
+
+topo::SimParams seeded(std::uint64_t seed) {
+  topo::SimParams p = topo::small_params();
+  p.seed = seed;
+  return p;
+}
+
+}  // namespace
+
+class TopoSeeds : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  topo::Internet net_ = topo::Internet::generate(seeded(GetParam()));
+};
+
+TEST_P(TopoSeeds, AddressesUniqueAndPublic) {
+  std::unordered_set<netbase::IPAddr> seen;
+  for (const auto& f : net_.ifaces()) {
+    EXPECT_TRUE(seen.insert(f.addr).second);
+    EXPECT_FALSE(f.addr.is_private());
+  }
+}
+
+TEST_P(TopoSeeds, BlocksDisjointAcrossAses) {
+  // No AS's primary block may overlap another's (the bump allocator
+  // must never double-allocate).
+  const auto& ases = net_.ases();
+  for (std::size_t i = 0; i < ases.size(); i += 7)
+    for (std::size_t j = i + 1; j < ases.size(); j += 11) {
+      EXPECT_FALSE(ases[i].block.contains(ases[j].block))
+          << ases[i].block.to_string() << " vs " << ases[j].block.to_string();
+      EXPECT_FALSE(ases[j].block.contains(ases[i].block));
+    }
+}
+
+TEST_P(TopoSeeds, EveryRouterBelongsToItsAs) {
+  for (const auto& as : net_.ases())
+    for (int rid : as.routers)
+      EXPECT_EQ(net_.routers()[static_cast<std::size_t>(rid)].as_idx, as.idx);
+}
+
+TEST_P(TopoSeeds, RelationshipsAcyclicEnoughForCones) {
+  // finalize() ran during generate(); cones must be consistent:
+  // customer cones of providers strictly contain their customers'.
+  const auto& rels = net_.relationships();
+  for (const auto& as : net_.ases()) {
+    for (netbase::Asn c : rels.customers(as.asn)) {
+      EXPECT_TRUE(rels.in_cone(as.asn, c));
+      EXPECT_GE(rels.cone_size(as.asn), rels.cone_size(c));
+    }
+  }
+}
+
+TEST_P(TopoSeeds, AsRoutingReachesEverywhere) {
+  const int n = static_cast<int>(net_.ases().size());
+  for (int s = 0; s < n; s += 13)
+    for (int d = 0; d < n; d += 17) {
+      if (s == d) continue;
+      const auto path = net_.as_path(s, d);
+      ASSERT_FALSE(path.empty()) << s << "->" << d;
+      EXPECT_LE(path.size(), 12u);  // small-world diameter
+      // Loop-free.
+      std::unordered_set<int> seen(path.begin(), path.end());
+      EXPECT_EQ(seen.size(), path.size());
+    }
+}
+
+TEST_P(TopoSeeds, ExitLinksConnectTheRightAses) {
+  const int n = static_cast<int>(net_.ases().size());
+  for (int s = 0; s < n; s += 9) {
+    for (int d = 0; d < n; d += 19) {
+      if (s == d) continue;
+      const int next = net_.as_next_hop(s, d);
+      if (next < 0) continue;
+      const int link = net_.exit_link(s, next, 12345);
+      ASSERT_GE(link, 0);
+      const auto& l = net_.links()[static_cast<std::size_t>(link)];
+      const int ra = net_.ifaces()[static_cast<std::size_t>(l.a_iface)].router;
+      const int rb = net_.ifaces()[static_cast<std::size_t>(l.b_iface)].router;
+      const int as_a = net_.routers()[static_cast<std::size_t>(ra)].as_idx;
+      const int as_b = net_.routers()[static_cast<std::size_t>(rb)].as_idx;
+      EXPECT_TRUE((as_a == s && as_b == next) || (as_a == next && as_b == s));
+    }
+  }
+}
+
+TEST_P(TopoSeeds, TracesOnlyContainOnPathOrReplyArtifactAddresses) {
+  // Every non-private hop address must be a real interface (the tracer
+  // can only report addresses that exist).
+  topo::Tracer tracer(net_);
+  const auto vps = topo::Tracer::make_vps(net_, 4, {}, GetParam());
+  const auto corpus = tracer.campaign(vps, GetParam());
+  ASSERT_FALSE(corpus.empty());
+  for (const auto& t : corpus)
+    for (const auto& h : t.hops) {
+      if (h.addr.is_private()) continue;
+      if (h.reply == tracedata::ReplyType::echo_reply && h.addr == t.dst) continue;
+      EXPECT_GE(net_.iface_by_addr(h.addr), 0) << h.addr.to_string();
+    }
+}
+
+TEST_P(TopoSeeds, GroundTruthConsistentWithLinks) {
+  const eval::GroundTruth gt(net_);
+  for (const auto& l : net_.links()) {
+    const auto& fa = net_.ifaces()[static_cast<std::size_t>(l.a_iface)];
+    const auto& fb = net_.ifaces()[static_cast<std::size_t>(l.b_iface)];
+    const auto* ta = gt.truth(fa.addr);
+    const auto* tb = gt.truth(fb.addr);
+    ASSERT_NE(ta, nullptr);
+    ASSERT_NE(tb, nullptr);
+    if (l.kind == topo::LinkKind::ixp_session) continue;
+    // ptp link: each side's "other" includes the opposite owner.
+    EXPECT_TRUE(ta->other_is(tb->owner));
+    EXPECT_TRUE(tb->other_is(ta->owner));
+  }
+}
+
+TEST_P(TopoSeeds, DifferentSeedsDifferentInternets) {
+  topo::SimParams other = seeded(GetParam() + 1);
+  topo::Internet net2 = topo::Internet::generate(other);
+  // Same counts-class structure but different wiring: link counts
+  // should differ with overwhelming probability.
+  EXPECT_NE(net_.links().size(), net2.links().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopoSeeds,
+                         ::testing::Values(7, 99, 1234, 20181031, 424242));

@@ -1,0 +1,433 @@
+// Unit and invariant tests for the synthetic Internet and its
+// traceroute engine.
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "topo/alias_sim.hpp"
+#include "topo/internet.hpp"
+#include "topo/tracer.hpp"
+
+using topo::AsTier;
+using topo::Internet;
+using topo::SimParams;
+using topo::Tracer;
+
+namespace {
+
+const Internet& small_net() {
+  static Internet net = Internet::generate(topo::small_params());
+  return net;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Structure
+// ---------------------------------------------------------------------
+
+TEST(InternetGen, AsCountsMatchParams) {
+  const SimParams p = topo::small_params();
+  const auto& net = small_net();
+  EXPECT_EQ(net.ases().size(), p.tier1 + p.transit + p.regional + p.stub);
+  std::size_t tiers[4] = {0, 0, 0, 0};
+  for (const auto& as : net.ases()) ++tiers[static_cast<int>(as.tier)];
+  EXPECT_EQ(tiers[0], p.tier1);
+  EXPECT_EQ(tiers[1], p.transit);
+  EXPECT_EQ(tiers[2], p.regional);
+  EXPECT_EQ(tiers[3], p.stub);
+}
+
+TEST(InternetGen, DeterministicForSeed) {
+  const Internet a = Internet::generate(topo::small_params());
+  const Internet b = Internet::generate(topo::small_params());
+  ASSERT_EQ(a.ifaces().size(), b.ifaces().size());
+  for (std::size_t i = 0; i < a.ifaces().size(); ++i)
+    EXPECT_EQ(a.ifaces()[i].addr, b.ifaces()[i].addr);
+  EXPECT_EQ(a.links().size(), b.links().size());
+}
+
+TEST(InternetGen, Tier1CliqueFullyPeered) {
+  const auto& net = small_net();
+  const auto& rels = net.relationships();
+  for (const auto& a : net.ases()) {
+    if (a.tier != AsTier::tier1) continue;
+    for (const auto& b : net.ases()) {
+      if (b.tier != AsTier::tier1 || a.idx >= b.idx) continue;
+      EXPECT_EQ(rels.rel(a.asn, b.asn), asrel::Rel::p2p);
+    }
+    EXPECT_TRUE(rels.providers(a.asn).empty());  // nobody above tier-1
+  }
+}
+
+TEST(InternetGen, EveryNonTier1HasAProvider) {
+  const auto& net = small_net();
+  for (const auto& as : net.ases()) {
+    if (as.tier == AsTier::tier1) continue;
+    EXPECT_FALSE(net.relationships().providers(as.asn).empty()) << as.asn;
+  }
+}
+
+TEST(InternetGen, InterfaceAddressesUnique) {
+  const auto& net = small_net();
+  std::unordered_set<netbase::IPAddr> seen;
+  for (const auto& f : net.ifaces()) EXPECT_TRUE(seen.insert(f.addr).second);
+}
+
+TEST(InternetGen, InterfaceAddressesArePublic) {
+  for (const auto& f : small_net().ifaces()) EXPECT_FALSE(f.addr.is_private());
+}
+
+TEST(InternetGen, ValidationNetworksDistinctAndTyped) {
+  const auto& net = small_net();
+  const int ids[4] = {net.tier1_gt(), net.large_access_gt(), net.re1_gt(),
+                      net.re2_gt()};
+  std::unordered_set<int> distinct(ids, ids + 4);
+  EXPECT_EQ(distinct.size(), 4u);
+  EXPECT_EQ(net.ases()[static_cast<std::size_t>(ids[0])].tier, AsTier::tier1);
+  EXPECT_EQ(net.ases()[static_cast<std::size_t>(ids[1])].tier, AsTier::transit);
+  EXPECT_EQ(net.ases()[static_cast<std::size_t>(ids[2])].tier, AsTier::regional);
+  EXPECT_EQ(net.ases()[static_cast<std::size_t>(ids[3])].tier, AsTier::regional);
+}
+
+TEST(InternetGen, LinksConnectTheRoutersTheyClaim) {
+  const auto& net = small_net();
+  for (const auto& l : net.links()) {
+    const auto& fa = net.ifaces()[static_cast<std::size_t>(l.a_iface)];
+    const auto& fb = net.ifaces()[static_cast<std::size_t>(l.b_iface)];
+    if (l.kind == topo::LinkKind::internal) {
+      EXPECT_EQ(net.routers()[static_cast<std::size_t>(fa.router)].as_idx,
+                net.routers()[static_cast<std::size_t>(fb.router)].as_idx);
+    } else if (l.kind == topo::LinkKind::interdomain) {
+      EXPECT_NE(net.routers()[static_cast<std::size_t>(fa.router)].as_idx,
+                net.routers()[static_cast<std::size_t>(fb.router)].as_idx);
+    }
+  }
+}
+
+TEST(InternetGen, InterdomainLinksFollowAddressingConvention) {
+  // Most p2c links are numbered from the provider's space; a tuned
+  // minority from the customer's (the hidden-AS scenario).
+  const auto& net = small_net();
+  std::size_t provider_addressed = 0, customer_addressed = 0;
+  for (const auto& l : net.links()) {
+    if (l.kind != topo::LinkKind::interdomain) continue;
+    const auto& fa = net.ifaces()[static_cast<std::size_t>(l.a_iface)];
+    const auto& fb = net.ifaces()[static_cast<std::size_t>(l.b_iface)];
+    const netbase::Asn oa = net.owner_of_router(fa.router);
+    const netbase::Asn ob = net.owner_of_router(fb.router);
+    const asrel::Rel r = net.relationships().rel(oa, ob);
+    if (r != asrel::Rel::p2c) continue;
+    // Which AS's block covers the link addresses?
+    const auto& owner_as =
+        net.ases()[static_cast<std::size_t>(net.as_index(oa))];
+    if (owner_as.block.contains(fa.addr))
+      ++provider_addressed;
+    else
+      ++customer_addressed;
+  }
+  ASSERT_GT(provider_addressed + customer_addressed, 0u);
+  EXPECT_GT(provider_addressed, customer_addressed * 5);
+}
+
+TEST(InternetGen, ReallocatedPrefixesInsideProviderBlock) {
+  const auto& net = small_net();
+  for (const auto& as : net.ases())
+    for (const auto& p : as.reallocated) {
+      EXPECT_EQ(p.length(), 24);
+      EXPECT_TRUE(as.block.contains(p));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Exported views
+// ---------------------------------------------------------------------
+
+TEST(InternetViews, RibAnnouncesEveryAnnouncedBlock) {
+  const auto& net = small_net();
+  const bgp::Rib rib = net.rib();
+  for (const auto& as : net.ases()) {
+    if (!as.announced) continue;
+    EXPECT_TRUE(rib.origins().contains(as.block)) << as.asn;
+  }
+}
+
+TEST(InternetViews, RibPathsEndAtOrigin) {
+  const auto& net = small_net();
+  const bgp::Rib rib = net.rib();
+  for (const auto& r : rib.routes()) {
+    ASSERT_FALSE(r.path.empty());
+    EXPECT_EQ(r.path.back(), r.origins.front());
+  }
+}
+
+TEST(InternetViews, DelegationsCoverAllBlocks) {
+  const auto& net = small_net();
+  const auto dels = net.delegations();
+  for (const auto& as : net.ases()) {
+    bool found = false;
+    for (const auto& d : dels)
+      if (d.prefix == as.block && d.asn == as.asn) found = true;
+    EXPECT_TRUE(found) << as.asn;
+  }
+}
+
+TEST(InternetViews, DarkInfraInNoRegistry) {
+  const auto& net = small_net();
+  const auto dels = net.delegations();
+  const bgp::Rib rib = net.rib();
+  for (const auto& as : net.ases()) {
+    if (!as.has_infra_block || as.infra_block_delegated) continue;
+    for (const auto& d : dels) EXPECT_NE(d.prefix, as.infra_block);
+    EXPECT_FALSE(rib.origins().contains(as.infra_block));
+  }
+}
+
+TEST(InternetViews, IxpPrefixesMatchFabrics) {
+  const auto& net = small_net();
+  EXPECT_EQ(net.ixp_prefixes().size(), net.ixps().size());
+  for (const auto& fab : net.ixps()) {
+    EXPECT_GE(fab.member_ifaces.size(), 2u);
+    for (int fid : fab.member_ifaces)
+      EXPECT_TRUE(fab.prefix.contains(net.ifaces()[static_cast<std::size_t>(fid)].addr));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------
+
+TEST(Routing, AllPairsReachable) {
+  const auto& net = small_net();
+  const int n = static_cast<int>(net.ases().size());
+  for (int s = 0; s < n; s += 7)
+    for (int d = 0; d < n; d += 11) {
+      if (s == d) continue;
+      EXPECT_FALSE(net.as_path(s, d).empty()) << s << "->" << d;
+    }
+}
+
+TEST(Routing, PathsAreValleyFree) {
+  const auto& net = small_net();
+  const auto& rels = net.relationships();
+  const int n = static_cast<int>(net.ases().size());
+  for (int s = 0; s < n; s += 5)
+    for (int d = 0; d < n; d += 13) {
+      if (s == d) continue;
+      const auto path = net.as_path(s, d);
+      ASSERT_FALSE(path.empty());
+      // Classify each edge: +1 up (c2p), 0 peer, -1 down (p2c). Valley
+      // free: once we go peer or down, we never go up again; at most
+      // one peer edge.
+      int phase = 0;  // 0=climbing, 1=post-peak
+      int peers = 0;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const netbase::Asn a = net.ases()[static_cast<std::size_t>(path[i])].asn;
+        const netbase::Asn b = net.ases()[static_cast<std::size_t>(path[i + 1])].asn;
+        const asrel::Rel r = rels.rel(a, b);
+        ASSERT_NE(r, asrel::Rel::none);
+        if (r == asrel::Rel::c2p) {
+          EXPECT_EQ(phase, 0) << "uphill after peak";
+        } else {
+          phase = 1;
+          if (r == asrel::Rel::p2p) ++peers;
+        }
+      }
+      EXPECT_LE(peers, 1);
+    }
+}
+
+TEST(Routing, IntraNextHopsConverge) {
+  const auto& net = small_net();
+  for (const auto& as : net.ases()) {
+    for (int r1 : as.routers)
+      for (int r2 : as.routers) {
+        if (r1 == r2) continue;
+        int cur = r1, steps = 0;
+        while (cur != r2 && steps < 32) {
+          cur = net.intra_next_hop(cur, r2);
+          ASSERT_GE(cur, 0);
+          ++steps;
+        }
+        EXPECT_EQ(cur, r2);
+      }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------
+
+TEST(TracerTest, HopsAscendAndEndAtEchoWhenOpen) {
+  const auto& net = small_net();
+  Tracer tracer(net);
+  // Find an open AS to probe.
+  int target = -1;
+  for (const auto& as : net.ases())
+    if (as.dest_policy == topo::DestPolicy::open && as.tier == AsTier::stub)
+      target = as.idx;
+  ASSERT_GE(target, 0);
+  const auto vp = Tracer::vp_in_as(net, 0);
+  bool found_echo = false;
+  // Several host addresses: host replies are probabilistic per address.
+  for (std::uint64_t salt = 0; salt < 40 && !found_echo; ++salt) {
+    const auto t = tracer.trace(vp, net.host_addr(target, salt), 1);
+    std::uint8_t prev = 0;
+    for (const auto& h : t.hops) {
+      EXPECT_GT(h.probe_ttl, prev);
+      prev = h.probe_ttl;
+    }
+    if (!t.hops.empty() &&
+        t.hops.back().reply == tracedata::ReplyType::echo_reply) {
+      EXPECT_EQ(t.hops.back().addr, t.dst);
+      found_echo = true;
+    }
+  }
+  EXPECT_TRUE(found_echo);
+}
+
+TEST(TracerTest, FirstHopIsPrivateGateway) {
+  const auto& net = small_net();
+  Tracer tracer(net);
+  const auto vp = Tracer::vp_in_as(net, 3);
+  const auto t = tracer.trace(vp, net.host_addr(10, 0), 1);
+  ASSERT_FALSE(t.hops.empty());
+  if (t.hops.front().probe_ttl == 1) {
+    EXPECT_TRUE(t.hops.front().addr.is_private());
+  }
+}
+
+TEST(TracerTest, SilentDestPolicyShowsNoDestAsAddresses) {
+  const auto& net = small_net();
+  Tracer tracer(net);
+  const auto vp = Tracer::vp_in_as(net, 0);
+  for (const auto& as : net.ases()) {
+    if (as.dest_policy != topo::DestPolicy::silent) continue;
+    for (std::uint64_t salt = 0; salt < 5; ++salt) {
+      const auto t = tracer.trace(vp, net.host_addr(as.idx, salt), 1);
+      for (const auto& h : t.hops) {
+        const int fid = net.iface_by_addr(h.addr);
+        if (fid < 0) continue;  // gateway/private
+        EXPECT_NE(net.routers()[static_cast<std::size_t>(
+                                    net.ifaces()[static_cast<std::size_t>(fid)].router)]
+                      .as_idx,
+                  as.idx);
+      }
+    }
+  }
+}
+
+TEST(TracerTest, FirewallBorderKeepsExactlyTheBorderRouter) {
+  const auto& net = small_net();
+  Tracer tracer(net);
+  const auto vp = Tracer::vp_in_as(net, 0);
+  for (const auto& as : net.ases()) {
+    if (as.dest_policy != topo::DestPolicy::firewall_border) continue;
+    for (std::uint64_t salt = 0; salt < 5; ++salt) {
+      const auto t = tracer.trace(vp, net.host_addr(as.idx, salt), 1);
+      std::size_t inside = 0;
+      for (const auto& h : t.hops) {
+        EXPECT_NE(h.reply, tracedata::ReplyType::echo_reply);
+        const int fid = net.iface_by_addr(h.addr);
+        if (fid < 0) continue;
+        if (net.routers()[static_cast<std::size_t>(
+                              net.ifaces()[static_cast<std::size_t>(fid)].router)]
+                .as_idx == as.idx)
+          ++inside;
+      }
+      EXPECT_LE(inside, 1u);
+    }
+  }
+}
+
+TEST(TracerTest, CampaignDeterministic) {
+  const auto& net = small_net();
+  Tracer tracer(net);
+  const auto vps = Tracer::make_vps(net, 5, {}, 42);
+  const auto a = tracer.campaign(vps, 7);
+  const auto b = tracer.campaign(vps, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TracerTest, MakeVpsRespectsExclusions) {
+  const auto& net = small_net();
+  const std::vector<int> exclude{net.tier1_gt(), net.re1_gt()};
+  const auto vps = Tracer::make_vps(net, 20, exclude, 1);
+  EXPECT_EQ(vps.size(), 20u);
+  std::unordered_set<int> seen;
+  for (const auto& vp : vps) {
+    EXPECT_TRUE(seen.insert(vp.as_idx).second) << "duplicate VP AS";
+    for (int e : exclude) EXPECT_NE(vp.as_idx, e);
+  }
+}
+
+TEST(TracerTest, EchoProbeTargetsRouterInterface) {
+  const auto& net = small_net();
+  Tracer tracer(net);
+  const auto vps = Tracer::make_vps(net, 8, {}, 11);
+  const auto corpus = tracer.campaign(vps, 11);
+  bool saw_iface_echo = false;
+  for (const auto& t : corpus) {
+    if (t.hops.empty() || t.hops.back().reply != tracedata::ReplyType::echo_reply)
+      continue;
+    if (net.iface_by_addr(t.hops.back().addr) >= 0) saw_iface_echo = true;
+  }
+  EXPECT_TRUE(saw_iface_echo);
+}
+
+// ---------------------------------------------------------------------
+// Alias simulator
+// ---------------------------------------------------------------------
+
+TEST(AliasSim, MidarGroupsAreAlwaysCorrect) {
+  const auto& net = small_net();
+  Tracer tracer(net);
+  const auto vps = Tracer::make_vps(net, 10, {}, 3);
+  const auto corpus = tracer.campaign(vps, 3);
+  topo::AliasSimulator sim(net, corpus);
+  const auto sets = sim.midar_like();
+  ASSERT_FALSE(sets.empty());
+  for (const auto& group : sets.sets()) {
+    int router = -1;
+    for (const auto& addr : group) {
+      const int fid = net.iface_by_addr(addr);
+      ASSERT_GE(fid, 0);
+      const int r = net.ifaces()[static_cast<std::size_t>(fid)].router;
+      if (router < 0) router = r;
+      EXPECT_EQ(r, router) << "midar must never merge routers";
+    }
+  }
+}
+
+TEST(AliasSim, KaparContainsFalseMerges) {
+  const auto& net = small_net();
+  Tracer tracer(net);
+  const auto vps = Tracer::make_vps(net, 10, {}, 3);
+  const auto corpus = tracer.campaign(vps, 3);
+  topo::AliasSimulator sim(net, corpus);
+  topo::AliasOptions opt;
+  opt.false_merge_prob = 0.2;  // exaggerate for the test
+  const auto sets = sim.kapar_like(opt);
+  std::size_t merged_groups = 0;
+  for (const auto& group : sets.sets()) {
+    std::unordered_set<int> routers;
+    for (const auto& addr : group) {
+      const int fid = net.iface_by_addr(addr);
+      if (fid >= 0) routers.insert(net.ifaces()[static_cast<std::size_t>(fid)].router);
+    }
+    if (routers.size() > 1) ++merged_groups;
+  }
+  EXPECT_GT(merged_groups, 0u);
+}
+
+TEST(AliasSim, OnlyObservedAddressesGrouped) {
+  const auto& net = small_net();
+  Tracer tracer(net);
+  const auto vps = Tracer::make_vps(net, 4, {}, 5);
+  const auto corpus = tracer.campaign(vps, 5);
+  topo::AliasSimulator sim(net, corpus);
+  const tracedata::AliasSets sets = sim.midar_like();
+  for (const auto& group : sets.sets())
+    for (const auto& addr : group) EXPECT_TRUE(sim.observed().contains(addr));
+}

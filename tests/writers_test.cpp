@@ -1,0 +1,148 @@
+// Round-trip tests for the file writers: RIB, RIR delegations, and the
+// ITDK nodes/.nodes.as outputs.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bgp/delegations.hpp"
+#include "bgp/rib.hpp"
+#include "core/itdk.hpp"
+#include "eval/experiment.hpp"
+#include "test_util.hpp"
+
+using netbase::IPAddr;
+using netbase::Prefix;
+
+TEST(RibWriter, PathFormatRoundTrip) {
+  bgp::Rib rib;
+  rib.add_line("203.0.113.0/24 3356 1299 64496");
+  rib.add_line("198.51.100.0/24 174 64497");
+  std::stringstream buf;
+  rib.write(buf);
+  bgp::Rib back;
+  EXPECT_EQ(back.read(buf), 0u);
+  ASSERT_EQ(back.routes().size(), 2u);
+  EXPECT_EQ(back.routes()[0].path, rib.routes()[0].path);
+  EXPECT_EQ(back.routes()[1].origins, rib.routes()[1].origins);
+}
+
+TEST(RibWriter, Prefix2AsRowsRoundTrip) {
+  bgp::Rib rib;
+  rib.add_line("203.0.113.0 24 64496_64497");  // pathless MOAS entry
+  std::stringstream buf;
+  rib.write(buf);
+  bgp::Rib back;
+  EXPECT_EQ(back.read(buf), 0u);
+  ASSERT_EQ(back.routes().size(), 1u);
+  EXPECT_EQ(back.routes()[0].origins, (std::vector<netbase::Asn>{64496, 64497}));
+  EXPECT_TRUE(back.routes()[0].path.empty());
+}
+
+TEST(RibWriter, SimulatedRibRoundTripsLossless) {
+  topo::Internet net = topo::Internet::generate(topo::small_params());
+  const bgp::Rib rib = net.rib();
+  std::stringstream buf;
+  rib.write(buf);
+  bgp::Rib back;
+  EXPECT_EQ(back.read(buf), 0u);
+  EXPECT_EQ(back.routes().size(), rib.routes().size());
+  EXPECT_EQ(back.origins().size(), rib.origins().size());
+  for (const auto& [prefix, origins] : rib.origins())
+    EXPECT_EQ(back.origins().at(prefix), origins);
+}
+
+TEST(DelegationWriter, RoundTrip) {
+  std::vector<bgp::Delegation> dels{
+      {Prefix::must_parse("193.0.0.0/22"), 100},
+      {Prefix::must_parse("193.0.4.0/24"), 101},
+      {Prefix::must_parse("2001:db8::/32"), 102},
+  };
+  std::stringstream buf;
+  bgp::write_delegations(buf, dels);
+  const auto back = bgp::read_delegations(buf);
+  ASSERT_EQ(back.size(), dels.size());
+  for (std::size_t i = 0; i < dels.size(); ++i) {
+    EXPECT_EQ(back[i].prefix, dels[i].prefix);
+    EXPECT_EQ(back[i].asn, dels[i].asn);
+  }
+}
+
+TEST(DelegationWriter, SimulatedDelegationsRoundTrip) {
+  topo::Internet net = topo::Internet::generate(topo::small_params());
+  const auto dels = net.delegations();
+  std::stringstream buf;
+  bgp::write_delegations(buf, dels);
+  const auto back = bgp::read_delegations(buf);
+  // Non-power-of-two blocks would split; the simulator only allocates
+  // CIDR blocks, so the round trip is exact.
+  ASSERT_EQ(back.size(), dels.size());
+  for (std::size_t i = 0; i < dels.size(); ++i) EXPECT_EQ(back[i].prefix, dels[i].prefix);
+}
+
+// ---------------------------------------------------------------------
+// ITDK output
+// ---------------------------------------------------------------------
+
+namespace {
+
+core::Result small_result() {
+  auto ip2as = testutil::make_ip2as({{"20.0.1.0/24", 1}, {"20.0.2.0/24", 2}});
+  tracedata::AliasSets aliases;
+  aliases.add({IPAddr::must_parse("20.0.1.1"), IPAddr::must_parse("20.0.1.2")});
+  auto corpus = std::vector{
+      testutil::tr("a", "20.0.2.9", {{1, "20.0.1.1", 'T'}, {2, "20.0.2.1", 'T'}}),
+      testutil::tr("b", "20.0.2.8", {{1, "20.0.1.2", 'T'}, {2, "20.0.2.1", 'T'}})};
+  return core::Bdrmapit::run(corpus, aliases, ip2as, testutil::make_rels({"1>2"}));
+}
+
+}  // namespace
+
+TEST(ItdkOutput, NodesMatchIrs) {
+  const auto r = small_result();
+  const auto nodes = core::itdk_nodes(r);
+  ASSERT_EQ(nodes.size(), r.graph.irs().size());
+  // The aliased pair forms one node with both addresses.
+  bool found_pair = false;
+  for (const auto& n : nodes)
+    if (n.addrs.size() == 2) {
+      EXPECT_EQ(n.addrs[0], IPAddr::must_parse("20.0.1.1"));
+      EXPECT_EQ(n.addrs[1], IPAddr::must_parse("20.0.1.2"));
+      found_pair = true;
+    }
+  EXPECT_TRUE(found_pair);
+}
+
+TEST(ItdkOutput, NodesFileReadableByAliasSets) {
+  const auto r = small_result();
+  const auto nodes = core::itdk_nodes(r);
+  std::stringstream buf;
+  core::write_itdk_nodes(buf, nodes);
+  const auto sets = tracedata::AliasSets::read(buf);
+  // Singleton nodes are dropped by AliasSets; the aliased pair survives.
+  ASSERT_EQ(sets.size(), 1u);
+  EXPECT_EQ(sets.find(IPAddr::must_parse("20.0.1.1")),
+            sets.find(IPAddr::must_parse("20.0.1.2")));
+}
+
+TEST(ItdkOutput, NodesAsRecordsOwnershipAndMethod) {
+  const auto r = small_result();
+  const auto nodes = core::itdk_nodes(r);
+  std::stringstream buf;
+  core::write_itdk_nodes_as(buf, nodes);
+  const std::string text = buf.str();
+  // Every mapped node appears with a method tag.
+  std::size_t lines = 0;
+  for (std::string line; std::getline(buf, line);)
+    ;
+  for (const auto& n : nodes) {
+    if (n.asn == netbase::kNoAs) continue;
+    const std::string expect =
+        "node.AS N" + std::to_string(n.node_id) + " " + std::to_string(n.asn);
+    EXPECT_NE(text.find(expect), std::string::npos) << expect;
+    ++lines;
+  }
+  EXPECT_GT(lines, 0u);
+  EXPECT_NE(text.find("refinement"), std::string::npos);
+  EXPECT_NE(text.find("last-hop"), std::string::npos);
+}

@@ -1,0 +1,58 @@
+// Dump the full IR neighborhood for an address.
+#include <cstdio>
+#include <cstdlib>
+#include "eval/experiment.hpp"
+#include "topo/bdrmap_collect.hpp"
+
+int main(int argc, char** argv) {
+  const char* addr_s = argc > 1 ? argv[1] : "";
+  topo::SimParams params;
+  eval::Scenario s = (argc > 2 && std::string(argv[2]) == "fig15")
+      ? eval::make_single_vp_scenario(params, 0, 2016)
+      : eval::make_scenario(params, argc > 2 ? std::atoi(argv[2]) : 40, true, 1);
+  tracedata::AliasSets aliases;
+  if (argc > 2 && std::string(argv[2]) == "fig15") {
+    topo::BdrmapCollectOptions copt;
+    copt.seed = 2016;
+    auto coll = topo::bdrmap_collect(s.net, 0, copt);
+    s.corpus = coll.traces;
+    s.vis = eval::observe(s.corpus);
+    aliases = coll.aliases;
+  } else {
+    aliases = eval::midar_aliases(s);
+  }
+  core::Result r = core::Bdrmapit::run(s.corpus, aliases, s.ip2as, s.rels);
+  auto addr = netbase::IPAddr::must_parse(addr_s);
+  int fid = r.graph.iface_by_addr(addr);
+  if (fid < 0) { std::printf("not observed\n"); return 1; }
+  const auto& f = r.graph.interfaces()[fid];
+  const auto& ir = r.graph.irs()[f.ir];
+  std::printf("iface %s origin=%u(kind %d) annot=%u  IR%d annot=%u lasthop=%d\n",
+    addr_s, f.origin.asn, (int)f.origin.kind, f.annotation, ir.id, ir.annotation, (int)ir.last_hop);
+  std::printf("IR ifaces:"); for (int x : ir.ifaces) {
+    const auto& g = r.graph.interfaces()[x];
+    std::printf(" %s(o=%u,truth=%u)", g.addr.to_string().c_str(), g.origin.asn, s.gt.truth(g.addr)? s.gt.truth(g.addr)->owner : 0);
+  }
+  std::printf("\nIR dests:"); for (auto d : ir.dest_asns) std::printf(" %u", d); std::printf("\n");
+  std::printf("out links:\n");
+  for (int lid : ir.out_links) {
+    const auto& l = r.graph.links()[lid];
+    const auto& j = r.graph.interfaces()[l.iface];
+    const auto& jr = r.graph.irs()[j.ir];
+    std::printf("  -> %s label=%d j.origin=%u j.annot=%u j.IR%d.annot=%u (truthowner=%u) L={",
+      j.addr.to_string().c_str(), (int)l.label, j.origin.asn, j.annotation, j.ir, jr.annotation,
+      s.gt.truth(j.addr)? s.gt.truth(j.addr)->owner : 0);
+    for (auto o : l.origin_set) std::printf("%u,", o);
+    std::printf("} D={");
+    for (auto d : l.dest_asns) std::printf("%u,", d);
+    std::printf("}\n");
+  }
+  std::printf("in links:\n");
+  for (int lid : f.in_links) {
+    const auto& l = r.graph.links()[lid];
+    std::printf("  IR%d annot=%u label=%d nprev=%zu [", l.ir, r.graph.irs()[l.ir].annotation, (int)l.label, l.prev_ifaces.size());
+    for (int x : l.prev_ifaces) std::printf("%s,", r.graph.interfaces()[x].addr.to_string().c_str());
+    std::printf("]\n");
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include <cstdio>
+#include "eval/experiment.hpp"
+
+int main() {
+  topo::SimParams params;
+  topo::Internet net = topo::Internet::generate(params);
+  const bgp::Rib rib = net.rib();
+  asrel::Inferencer inf;
+  for (const auto& p : rib.paths()) inf.add_path(p);
+  asrel::RelStore inferred = inf.infer();
+  const asrel::RelStore& truth = net.relationships();
+  std::size_t p2c_ok=0, p2c_flip=0, p2c_as_p2p=0, p2c_missing=0;
+  std::size_t p2p_ok=0, p2p_as_p2c=0, p2p_missing=0, extra=0;
+  for (auto a : truth.ases()) {
+    for (auto c : truth.customers(a)) {
+      switch (inferred.rel(a,c)) {
+        case asrel::Rel::p2c: ++p2c_ok; break;
+        case asrel::Rel::c2p: ++p2c_flip; break;
+        case asrel::Rel::p2p: ++p2c_as_p2p; break;
+        default: ++p2c_missing;
+      }
+    }
+    for (auto q : truth.peers(a)) {
+      if (a > q) continue;
+      switch (inferred.rel(a,q)) {
+        case asrel::Rel::p2p: ++p2p_ok; break;
+        case asrel::Rel::none: ++p2p_missing; break;
+        default: ++p2p_as_p2c;
+      }
+    }
+  }
+  for (auto a : inferred.ases()) {
+    for (auto c : inferred.customers(a)) if (truth.rel(a,c)==asrel::Rel::none) ++extra;
+    for (auto q : inferred.peers(a)) if (a<q && truth.rel(a,q)==asrel::Rel::none) ++extra;
+  }
+  std::printf("p2c: ok=%zu flipped=%zu as_p2p=%zu missing=%zu\n", p2c_ok, p2c_flip, p2c_as_p2p, p2c_missing);
+  std::printf("p2p: ok=%zu as_p2c=%zu missing=%zu  extra_pairs=%zu\n", p2p_ok, p2p_as_p2c, p2p_missing, extra);
+  std::printf("clique size=%zu truth tier1=%zu\n", inf.clique().size(), params.tier1);
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include <cstdio>
+#include <cstdlib>
+#include "eval/experiment.hpp"
+#include "core/annotator.hpp"
+
+int main(int argc, char** argv) {
+  const char* addr_s = argc > 1 ? argv[1] : "1.39.32.19";
+  topo::SimParams params;
+  eval::Scenario s = eval::make_scenario(params, 40, true, 1);
+  const auto aliases = eval::midar_aliases(s);
+  graph::Graph g = graph::Graph::build(s.corpus, aliases, s.ip2as, s.rels);
+  core::Annotator ann(g, s.rels);
+  for (auto& f : g.interfaces())
+    f.annotation = f.origin.announced() ? f.origin.asn : netbase::kNoAs;
+  ann.annotate_last_hops();
+  auto addr = netbase::IPAddr::must_parse(addr_s);
+  int fid = g.iface_by_addr(addr);
+  const auto& f = g.interfaces()[fid];
+  int irid = f.ir;
+  std::printf("tracking IR%d (iface %s)\n", irid, addr_s);
+  auto dump = [&](const char* tag) {
+    const auto& ir = g.irs()[irid];
+    std::printf("%s: IR%d annot=%u;", tag, irid, ir.annotation);
+    for (int lid : ir.out_links) {
+      const auto& l = g.links()[lid];
+      const auto& j = g.interfaces()[l.iface];
+      std::printf(" [j=%s j.annot=%u jIR.annot=%u]", j.addr.to_string().c_str(), j.annotation, g.irs()[j.ir].annotation);
+    }
+    std::printf("\n");
+  };
+  dump("after phase2");
+  // check relationship data
+  std::printf("rels: rel(186,431)=%d rel(164,431)=%d cone186=%zu cone164=%zu cone431=%zu\n",
+    (int)s.rels.rel(186,431), (int)s.rels.rel(164,431), s.rels.cone_size(186), s.rels.cone_size(164), s.rels.cone_size(431));
+  std::printf("annotate_ir(IR%d) would return: %u\n", irid, ann.annotate_ir(g.irs()[irid]));
+  for (int it = 0; it < 6; ++it) {
+    ann.annotate_irs();
+    dump(("after irs " + std::to_string(it)).c_str());
+    ann.annotate_interfaces();
+    dump(("after ifs " + std::to_string(it)).c_str());
+  }
+  return 0;
+}
