@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdrmapit_cli.dir/bdrmapit_cli.cpp.o"
+  "CMakeFiles/bdrmapit_cli.dir/bdrmapit_cli.cpp.o.d"
+  "bdrmapit_cli"
+  "bdrmapit_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdrmapit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

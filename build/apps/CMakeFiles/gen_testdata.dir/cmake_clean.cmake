@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_testdata.dir/gen_testdata.cpp.o"
+  "CMakeFiles/gen_testdata.dir/gen_testdata.cpp.o.d"
+  "gen_testdata"
+  "gen_testdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_testdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

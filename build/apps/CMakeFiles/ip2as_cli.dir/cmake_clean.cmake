@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ip2as_cli.dir/ip2as_cli.cpp.o"
+  "CMakeFiles/ip2as_cli.dir/ip2as_cli.cpp.o.d"
+  "ip2as_cli"
+  "ip2as_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ip2as_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dualstack.dir/bench_dualstack.cpp.o"
+  "CMakeFiles/bench_dualstack.dir/bench_dualstack.cpp.o.d"
+  "bench_dualstack"
+  "bench_dualstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dualstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

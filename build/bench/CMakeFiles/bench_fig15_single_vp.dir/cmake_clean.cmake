@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_single_vp.dir/bench_fig15_single_vp.cpp.o"
+  "CMakeFiles/bench_fig15_single_vp.dir/bench_fig15_single_vp.cpp.o.d"
+  "bench_fig15_single_vp"
+  "bench_fig15_single_vp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_single_vp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

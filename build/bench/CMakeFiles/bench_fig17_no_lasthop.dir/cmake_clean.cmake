@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_no_lasthop.dir/bench_fig17_no_lasthop.cpp.o"
+  "CMakeFiles/bench_fig17_no_lasthop.dir/bench_fig17_no_lasthop.cpp.o.d"
+  "bench_fig17_no_lasthop"
+  "bench_fig17_no_lasthop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_no_lasthop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_vary_vps.dir/bench_fig18_vary_vps.cpp.o"
+  "CMakeFiles/bench_fig18_vary_vps.dir/bench_fig18_vary_vps.cpp.o.d"
+  "bench_fig18_vary_vps"
+  "bench_fig18_vary_vps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_vary_vps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_alias.dir/bench_fig20_alias.cpp.o"
+  "CMakeFiles/bench_fig20_alias.dir/bench_fig20_alias.cpp.o.d"
+  "bench_fig20_alias"
+  "bench_fig20_alias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_alias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noalias.dir/bench_noalias.cpp.o"
+  "CMakeFiles/bench_noalias.dir/bench_noalias.cpp.o.d"
+  "bench_noalias"
+  "bench_noalias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noalias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_noalias.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_links.dir/bench_table3_links.cpp.o"
+  "CMakeFiles/bench_table3_links.dir/bench_table3_links.cpp.o.d"
+  "bench_table3_links"
+  "bench_table3_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

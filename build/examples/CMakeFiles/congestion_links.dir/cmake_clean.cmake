@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_links.dir/congestion_links.cpp.o"
+  "CMakeFiles/congestion_links.dir/congestion_links.cpp.o.d"
+  "congestion_links"
+  "congestion_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_fig15.dir/__/tools/debug_fig15.cpp.o"
+  "CMakeFiles/debug_fig15.dir/__/tools/debug_fig15.cpp.o.d"
+  "debug_fig15"
+  "debug_fig15.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_fig15.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_ir.dir/__/tools/debug_ir.cpp.o"
+  "CMakeFiles/debug_ir.dir/__/tools/debug_ir.cpp.o.d"
+  "debug_ir"
+  "debug_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

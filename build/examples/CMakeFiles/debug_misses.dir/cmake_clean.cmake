@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_misses.dir/__/tools/debug_misses.cpp.o"
+  "CMakeFiles/debug_misses.dir/__/tools/debug_misses.cpp.o.d"
+  "debug_misses"
+  "debug_misses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

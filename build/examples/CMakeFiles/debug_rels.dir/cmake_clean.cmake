@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_rels.dir/__/tools/debug_rels.cpp.o"
+  "CMakeFiles/debug_rels.dir/__/tools/debug_rels.cpp.o.d"
+  "debug_rels"
+  "debug_rels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_rels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

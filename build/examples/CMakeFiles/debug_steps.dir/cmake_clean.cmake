@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_steps.dir/__/tools/debug_steps.cpp.o"
+  "CMakeFiles/debug_steps.dir/__/tools/debug_steps.cpp.o.d"
+  "debug_steps"
+  "debug_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itdk_generation.dir/itdk_generation.cpp.o"
+  "CMakeFiles/itdk_generation.dir/itdk_generation.cpp.o.d"
+  "itdk_generation"
+  "itdk_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itdk_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_internet.dir/map_internet.cpp.o"
+  "CMakeFiles/map_internet.dir/map_internet.cpp.o.d"
+  "map_internet"
+  "map_internet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_internet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/resilience.cpp" "examples/CMakeFiles/resilience.dir/resilience.cpp.o" "gcc" "examples/CMakeFiles/resilience.dir/resilience.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/graphlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/asrel/CMakeFiles/asrel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracedata/CMakeFiles/tracedata.dir/DependInfo.cmake"
+  "/root/repo/build/src/netbase/CMakeFiles/netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

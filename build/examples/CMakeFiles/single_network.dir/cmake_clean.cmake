@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/single_network.dir/single_network.cpp.o"
+  "CMakeFiles/single_network.dir/single_network.cpp.o.d"
+  "single_network"
+  "single_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/single_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asrel/infer.cpp" "src/asrel/CMakeFiles/asrel.dir/infer.cpp.o" "gcc" "src/asrel/CMakeFiles/asrel.dir/infer.cpp.o.d"
+  "/root/repo/src/asrel/relstore.cpp" "src/asrel/CMakeFiles/asrel.dir/relstore.cpp.o" "gcc" "src/asrel/CMakeFiles/asrel.dir/relstore.cpp.o.d"
+  "/root/repo/src/asrel/serial1.cpp" "src/asrel/CMakeFiles/asrel.dir/serial1.cpp.o" "gcc" "src/asrel/CMakeFiles/asrel.dir/serial1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

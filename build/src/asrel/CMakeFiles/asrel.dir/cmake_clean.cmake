@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrel.dir/infer.cpp.o"
+  "CMakeFiles/asrel.dir/infer.cpp.o.d"
+  "CMakeFiles/asrel.dir/relstore.cpp.o"
+  "CMakeFiles/asrel.dir/relstore.cpp.o.d"
+  "CMakeFiles/asrel.dir/serial1.cpp.o"
+  "CMakeFiles/asrel.dir/serial1.cpp.o.d"
+  "libasrel.a"
+  "libasrel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

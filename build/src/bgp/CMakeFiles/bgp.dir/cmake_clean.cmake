@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp.dir/delegations.cpp.o"
+  "CMakeFiles/bgp.dir/delegations.cpp.o.d"
+  "CMakeFiles/bgp.dir/ip2as.cpp.o"
+  "CMakeFiles/bgp.dir/ip2as.cpp.o.d"
+  "CMakeFiles/bgp.dir/rib.cpp.o"
+  "CMakeFiles/bgp.dir/rib.cpp.o.d"
+  "libbgp.a"
+  "libbgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

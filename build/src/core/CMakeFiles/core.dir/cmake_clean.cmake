@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core.dir/annotator.cpp.o"
+  "CMakeFiles/core.dir/annotator.cpp.o.d"
+  "CMakeFiles/core.dir/bdrmapit.cpp.o"
+  "CMakeFiles/core.dir/bdrmapit.cpp.o.d"
+  "CMakeFiles/core.dir/itdk.cpp.o"
+  "CMakeFiles/core.dir/itdk.cpp.o.d"
+  "libcore.a"
+  "libcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

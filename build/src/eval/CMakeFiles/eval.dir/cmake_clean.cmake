@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval.dir/error_analysis.cpp.o"
+  "CMakeFiles/eval.dir/error_analysis.cpp.o.d"
+  "CMakeFiles/eval.dir/experiment.cpp.o"
+  "CMakeFiles/eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/eval.dir/ground_truth.cpp.o"
+  "CMakeFiles/eval.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/eval.dir/metrics.cpp.o"
+  "CMakeFiles/eval.dir/metrics.cpp.o.d"
+  "libeval.a"
+  "libeval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

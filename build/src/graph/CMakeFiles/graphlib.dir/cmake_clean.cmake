@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphlib.dir/graph.cpp.o"
+  "CMakeFiles/graphlib.dir/graph.cpp.o.d"
+  "libgraphlib.a"
+  "libgraphlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

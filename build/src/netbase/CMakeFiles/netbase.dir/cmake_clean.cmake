@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netbase.dir/asn.cpp.o"
+  "CMakeFiles/netbase.dir/asn.cpp.o.d"
+  "CMakeFiles/netbase.dir/ip_addr.cpp.o"
+  "CMakeFiles/netbase.dir/ip_addr.cpp.o.d"
+  "CMakeFiles/netbase.dir/prefix.cpp.o"
+  "CMakeFiles/netbase.dir/prefix.cpp.o.d"
+  "libnetbase.a"
+  "libnetbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/alias_sim.cpp" "src/topo/CMakeFiles/topo.dir/alias_sim.cpp.o" "gcc" "src/topo/CMakeFiles/topo.dir/alias_sim.cpp.o.d"
+  "/root/repo/src/topo/bdrmap_collect.cpp" "src/topo/CMakeFiles/topo.dir/bdrmap_collect.cpp.o" "gcc" "src/topo/CMakeFiles/topo.dir/bdrmap_collect.cpp.o.d"
+  "/root/repo/src/topo/internet.cpp" "src/topo/CMakeFiles/topo.dir/internet.cpp.o" "gcc" "src/topo/CMakeFiles/topo.dir/internet.cpp.o.d"
+  "/root/repo/src/topo/tracer.cpp" "src/topo/CMakeFiles/topo.dir/tracer.cpp.o" "gcc" "src/topo/CMakeFiles/topo.dir/tracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/asrel/CMakeFiles/asrel.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracedata/CMakeFiles/tracedata.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo.dir/alias_sim.cpp.o"
+  "CMakeFiles/topo.dir/alias_sim.cpp.o.d"
+  "CMakeFiles/topo.dir/bdrmap_collect.cpp.o"
+  "CMakeFiles/topo.dir/bdrmap_collect.cpp.o.d"
+  "CMakeFiles/topo.dir/internet.cpp.o"
+  "CMakeFiles/topo.dir/internet.cpp.o.d"
+  "CMakeFiles/topo.dir/tracer.cpp.o"
+  "CMakeFiles/topo.dir/tracer.cpp.o.d"
+  "libtopo.a"
+  "libtopo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracedata/alias.cpp" "src/tracedata/CMakeFiles/tracedata.dir/alias.cpp.o" "gcc" "src/tracedata/CMakeFiles/tracedata.dir/alias.cpp.o.d"
+  "/root/repo/src/tracedata/scamper_json.cpp" "src/tracedata/CMakeFiles/tracedata.dir/scamper_json.cpp.o" "gcc" "src/tracedata/CMakeFiles/tracedata.dir/scamper_json.cpp.o.d"
+  "/root/repo/src/tracedata/traceroute.cpp" "src/tracedata/CMakeFiles/tracedata.dir/traceroute.cpp.o" "gcc" "src/tracedata/CMakeFiles/tracedata.dir/traceroute.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netbase/CMakeFiles/netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracedata.dir/alias.cpp.o"
+  "CMakeFiles/tracedata.dir/alias.cpp.o.d"
+  "CMakeFiles/tracedata.dir/scamper_json.cpp.o"
+  "CMakeFiles/tracedata.dir/scamper_json.cpp.o.d"
+  "CMakeFiles/tracedata.dir/traceroute.cpp.o"
+  "CMakeFiles/tracedata.dir/traceroute.cpp.o.d"
+  "libtracedata.a"
+  "libtracedata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracedata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asrel_test.dir/asrel_test.cpp.o"
+  "CMakeFiles/asrel_test.dir/asrel_test.cpp.o.d"
+  "asrel_test"
+  "asrel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asrel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

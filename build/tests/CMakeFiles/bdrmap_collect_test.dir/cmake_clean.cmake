@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdrmap_collect_test.dir/bdrmap_collect_test.cpp.o"
+  "CMakeFiles/bdrmap_collect_test.dir/bdrmap_collect_test.cpp.o.d"
+  "bdrmap_collect_test"
+  "bdrmap_collect_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdrmap_collect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dualstack_test.dir/dualstack_test.cpp.o"
+  "CMakeFiles/dualstack_test.dir/dualstack_test.cpp.o.d"
+  "dualstack_test"
+  "dualstack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dualstack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_analysis_test.dir/error_analysis_test.cpp.o"
+  "CMakeFiles/error_analysis_test.dir/error_analysis_test.cpp.o.d"
+  "error_analysis_test"
+  "error_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

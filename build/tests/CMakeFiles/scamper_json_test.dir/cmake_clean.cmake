@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scamper_json_test.dir/scamper_json_test.cpp.o"
+  "CMakeFiles/scamper_json_test.dir/scamper_json_test.cpp.o.d"
+  "scamper_json_test"
+  "scamper_json_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scamper_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_property_test.dir/topo_property_test.cpp.o"
+  "CMakeFiles/topo_property_test.dir/topo_property_test.cpp.o.d"
+  "topo_property_test"
+  "topo_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

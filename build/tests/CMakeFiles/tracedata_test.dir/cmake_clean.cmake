@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracedata_test.dir/tracedata_test.cpp.o"
+  "CMakeFiles/tracedata_test.dir/tracedata_test.cpp.o.d"
+  "tracedata_test"
+  "tracedata_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracedata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/writers_test.dir/writers_test.cpp.o"
+  "CMakeFiles/writers_test.dir/writers_test.cpp.o.d"
+  "writers_test"
+  "writers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/writers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
