@@ -5,7 +5,7 @@
 //
 //   bdrmapit_cli --traces FILE --rib FILE --rels FILE
 //                [--delegations FILE] [--ixp FILE] [--aliases FILE]
-//                [--output FILE] [--as-links FILE]
+//                [--output FILE] [--as-links FILE] [--snapshot-out FILE]
 //                [--max-iterations N]
 //                [--no-last-hop-dest] [--no-third-party]
 //                [--no-reallocated] [--no-exceptions] [--no-hidden-as]
@@ -23,8 +23,10 @@
 //   --output       TSV: addr <tab> router_as <tab> conn_as <tab> flags
 //   --as-links     TSV: as_a <tab> as_b (deduplicated AS adjacencies)
 //   --itdk PREFIX  write PREFIX.nodes and PREFIX.nodes.as (ITDK style)
+//   --snapshot-out FILE  binary snapshot for bdrmapit_serve (docs/FORMATS.md)
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -34,6 +36,7 @@
 #include "asrel/serial1.hpp"
 #include "core/bdrmapit.hpp"
 #include "core/itdk.hpp"
+#include "serve/snapshot.hpp"
 #include "tracedata/scamper_json.hpp"
 
 namespace {
@@ -42,7 +45,8 @@ void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --traces FILE --rib FILE --rels FILE\n"
                "          [--delegations FILE] [--ixp FILE] [--aliases FILE]\n"
-               "          [--output FILE] [--as-links FILE] [--max-iterations N]\n"
+               "          [--output FILE] [--as-links FILE] [--snapshot-out FILE]\n"
+               "          [--max-iterations N]\n"
                "          [--no-last-hop-dest] [--no-third-party] "
                "[--no-reallocated]\n"
                "          [--no-exceptions] [--no-hidden-as] "
@@ -80,19 +84,35 @@ int main(int argc, char** argv) {
       opt.use_link_class_filter = false;
     } else if (a.rfind("--", 0) == 0 && i + 1 < argc) {
       args[a.substr(2)] = argv[++i];
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: missing value for %s\n", a.c_str());
+      usage(argv[0]);
+      return 1;
     } else {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", a.c_str());
       usage(argv[0]);
       return 1;
     }
   }
   for (const char* required : {"traces", "rib", "rels"}) {
     if (!args.contains(required)) {
+      std::fprintf(stderr, "error: --%s is required\n", required);
       usage(argv[0]);
       return 1;
     }
   }
-  if (args.contains("max-iterations"))
-    opt.max_iterations = std::atoi(args["max-iterations"].c_str());
+  if (args.contains("max-iterations")) {
+    const std::string& v = args["max-iterations"];
+    char* end = nullptr;
+    const long n = std::strtol(v.c_str(), &end, 10);
+    if (v.empty() || *end != '\0' || n < 0 || n > 1000000) {
+      std::fprintf(stderr,
+                   "error: --max-iterations expects a non-negative integer, "
+                   "got '%s'\n", v.c_str());
+      return 1;
+    }
+    opt.max_iterations = static_cast<int>(n);
+  }
 
   // ---- load inputs ----------------------------------------------------
   bgp::Rib rib;
@@ -175,18 +195,22 @@ int main(int argc, char** argv) {
     std::sort(addrs.begin(), addrs.end());
     for (const auto& addr : addrs) {
       const auto& inf = result.interfaces.at(addr);
-      std::string flags;
-      if (inf.interdomain()) flags += 'B';  // border
-      if (inf.ixp) flags += 'X';
-      if (!inf.seen_non_echo) flags += 'E';  // echo-only
       *out << addr.to_string() << '\t' << inf.router_as << '\t' << inf.conn_as
-           << '\t' << (flags.empty() ? "-" : flags) << '\n';
+           << '\t' << inf.flags() << '\n';
     }
   }
   if (args.contains("as-links")) {
     std::ofstream out(args["as-links"]);
     out << "# as_a\tas_b\n";
     for (const auto& [a, b] : result.as_links()) out << a << '\t' << b << '\n';
+  }
+  if (args.contains("snapshot-out")) {
+    std::string error;
+    if (!serve::write_snapshot_file(args["snapshot-out"],
+                                    serve::snapshot_from_result(result), &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
   }
   if (args.contains("itdk")) {
     const auto nodes = core::itdk_nodes(result);

@@ -1,0 +1,210 @@
+// apps/bdrmapit_serve.cpp — query engine over a bdrmapIT snapshot.
+//
+//   bdrmapit_serve --snapshot FILE [--quiet]
+//
+// Loads a snapshot written by `bdrmapit_cli --snapshot-out` and answers
+// queries on stdin, one per line, replies on stdout. Drive it
+// interactively, from scripts, or behind a socket wrapper
+// (`socat TCP-LISTEN:8264,fork EXEC:"bdrmapit_serve --snapshot map.snap"`).
+//
+// Protocol (requests are case-sensitive; replies are tab-separated):
+//
+//   IFACE <addr> [<addr> ...]
+//       One reply line per address, identical to the bdrmapit_cli
+//       --output TSV row:   <addr>\t<router_as>\t<conn_as>\t<flags>
+//       Unknown addresses reply   ERR\tnot-found\t<addr>
+//   PREFIX <cidr>
+//       TSV rows (as above) for every interface inside the CIDR, in
+//       ascending address order, then   END\t<count>
+//   LINKS <asn>
+//       Rows <as_a>\t<as_b> for every interdomain link involving the
+//       AS, ascending, then   END\t<count>
+//   ROUTER <addr>
+//       Rows (as IFACE) for every interface on the same inferred
+//       router as <addr>, then   END\t<count>
+//   COUNT <asn>
+//       One row:   <asn>\t<interface-count>
+//   STATS
+//       Rows <key>\t<value>, then   END\t<count>
+//   QUIT
+//       Exits 0 (as does end-of-input).
+//
+// Malformed requests reply ERR\t<reason>[\t<detail>] and the engine
+// keeps serving. A missing/corrupt snapshot is fatal: diagnostic on
+// stderr, exit 2.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/store.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s --snapshot FILE [--quiet]\n", argv0);
+}
+
+void print_iface(std::ostream& out, const serve::SnapshotIface& rec) {
+  out << rec.addr.to_string() << '\t' << rec.inf.router_as << '\t'
+      << rec.inf.conn_as << '\t' << rec.inf.flags() << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string snapshot_path;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--snapshot" && i + 1 < argc) {
+      snapshot_path = argv[++i];
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else {
+      usage(argv[0]);
+      return 1;
+    }
+  }
+  if (snapshot_path.empty()) {
+    usage(argv[0]);
+    return 1;
+  }
+
+  serve::Snapshot snap;
+  std::string error;
+  if (!serve::load_snapshot_file(snapshot_path, &snap, &error)) {
+    std::fprintf(stderr, "error: %s: %s\n", snapshot_path.c_str(), error.c_str());
+    return 2;
+  }
+  const serve::AnnotationStore store(std::move(snap));
+  if (!quiet) {
+    const serve::StoreStats st = store.stats();
+    std::fprintf(stderr,
+                 "serving %llu interfaces on %llu routers, %llu AS links "
+                 "(%u refinement iterations)\n",
+                 static_cast<unsigned long long>(st.interfaces),
+                 static_cast<unsigned long long>(st.routers),
+                 static_cast<unsigned long long>(st.as_links), st.iterations);
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream ss(line);
+    std::string cmd;
+    ss >> cmd;
+    if (cmd.empty() || cmd[0] == '#') continue;
+
+    if (cmd == "QUIT") break;
+
+    if (cmd == "IFACE") {
+      std::vector<netbase::IPAddr> addrs;
+      std::vector<std::string> raw;
+      std::string tok;
+      bool bad = false;
+      while (ss >> tok) {
+        const auto a = netbase::IPAddr::parse(tok);
+        if (!a) {
+          std::cout << "ERR\tbad-address\t" << tok << '\n';
+          bad = true;
+          break;
+        }
+        addrs.push_back(*a);
+        raw.push_back(tok);
+      }
+      if (bad) continue;
+      if (addrs.empty()) {
+        std::cout << "ERR\tmissing-argument\tIFACE\n";
+        continue;
+      }
+      const auto recs = store.find_batch(addrs);
+      for (std::size_t i = 0; i < recs.size(); ++i) {
+        if (recs[i])
+          print_iface(std::cout, *recs[i]);
+        else
+          std::cout << "ERR\tnot-found\t" << raw[i] << '\n';
+      }
+    } else if (cmd == "PREFIX") {
+      std::string tok;
+      if (!(ss >> tok)) {
+        std::cout << "ERR\tmissing-argument\tPREFIX\n";
+        continue;
+      }
+      const auto p = netbase::Prefix::parse(tok);
+      if (!p) {
+        std::cout << "ERR\tbad-prefix\t" << tok << '\n';
+        continue;
+      }
+      const auto recs = store.find_under(*p);
+      for (const auto* rec : recs) print_iface(std::cout, *rec);
+      std::cout << "END\t" << recs.size() << '\n';
+    } else if (cmd == "LINKS") {
+      std::string tok;
+      if (!(ss >> tok)) {
+        std::cout << "ERR\tmissing-argument\tLINKS\n";
+        continue;
+      }
+      const auto asn = netbase::parse_asn(tok);
+      if (!asn) {
+        std::cout << "ERR\tbad-asn\t" << tok << '\n';
+        continue;
+      }
+      const auto& links = store.links_of(*asn);
+      for (const auto& [a, b] : links) std::cout << a << '\t' << b << '\n';
+      std::cout << "END\t" << links.size() << '\n';
+    } else if (cmd == "ROUTER") {
+      std::string tok;
+      if (!(ss >> tok)) {
+        std::cout << "ERR\tmissing-argument\tROUTER\n";
+        continue;
+      }
+      const auto a = netbase::IPAddr::parse(tok);
+      if (!a) {
+        std::cout << "ERR\tbad-address\t" << tok << '\n';
+        continue;
+      }
+      const auto* rec = store.find(*a);
+      if (!rec) {
+        std::cout << "ERR\tnot-found\t" << tok << '\n';
+        continue;
+      }
+      // Aliases of one router are contiguous nowhere, so scan; router
+      // fan-out is tiny compared to the table.
+      std::size_t count = 0;
+      for (const auto& other : store.snapshot().interfaces) {
+        if (other.router_id != rec->router_id) continue;
+        print_iface(std::cout, other);
+        ++count;
+      }
+      std::cout << "END\t" << count << '\n';
+    } else if (cmd == "COUNT") {
+      std::string tok;
+      if (!(ss >> tok)) {
+        std::cout << "ERR\tmissing-argument\tCOUNT\n";
+        continue;
+      }
+      const auto asn = netbase::parse_asn(tok);
+      if (!asn) {
+        std::cout << "ERR\tbad-asn\t" << tok << '\n';
+        continue;
+      }
+      std::cout << *asn << '\t' << store.iface_count_of(*asn) << '\n';
+    } else if (cmd == "STATS") {
+      const serve::StoreStats st = store.stats();
+      std::cout << "interfaces\t" << st.interfaces << '\n'
+                << "routers\t" << st.routers << '\n'
+                << "border_interfaces\t" << st.border_interfaces << '\n'
+                << "as_links\t" << st.as_links << '\n'
+                << "ases\t" << st.ases << '\n'
+                << "iterations\t" << st.iterations << '\n';
+      std::cout << "END\t6\n";
+    } else {
+      std::cout << "ERR\tunknown-command\t" << cmd << '\n';
+    }
+    std::cout.flush();
+  }
+  return 0;
+}

@@ -27,6 +27,14 @@ Result Bdrmapit::run(const std::vector<tracedata::Traceroute>& corpus,
   return r;
 }
 
+std::string IfaceInference::flags() const {
+  std::string flags;
+  if (interdomain()) flags += 'B';
+  if (ixp) flags += 'X';
+  if (!seen_non_echo) flags += 'E';
+  return flags.empty() ? "-" : flags;
+}
+
 std::vector<std::pair<netbase::Asn, netbase::Asn>> Result::as_links() const {
   std::vector<std::pair<netbase::Asn, netbase::Asn>> out;
   for (const auto& [addr, inf] : interfaces) {

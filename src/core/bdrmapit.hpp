@@ -13,6 +13,7 @@
 
 #pragma once
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -38,6 +39,11 @@ struct IfaceInference {
     return router_as != netbase::kNoAs && conn_as != netbase::kNoAs &&
            router_as != conn_as;
   }
+
+  /// Canonical TSV flags column: `B` border, `X` IXP, `E` echo-only,
+  /// `-` when none apply. Shared by bdrmapit_cli and bdrmapit_serve so
+  /// their outputs agree byte for byte.
+  std::string flags() const;
 };
 
 struct Result {

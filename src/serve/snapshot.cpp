@@ -1,0 +1,272 @@
+#include "serve/snapshot.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace serve {
+
+namespace {
+
+// ---- CRC-32 -----------------------------------------------------------
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+// ---- little-endian encoding ------------------------------------------
+
+void put_u8(std::string& buf, std::uint8_t v) {
+  buf.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& buf, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& buf, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_addr(std::string& buf, const netbase::IPAddr& a) {
+  put_u8(buf, a.is_v4() ? 4 : 6);
+  buf.append(reinterpret_cast<const char*>(a.raw().data()),
+             static_cast<std::size_t>(a.bits() / 8));
+}
+
+// Bounds-checked little-endian decoding over a byte buffer. Every
+// getter reports failure instead of reading past the end, so a
+// maliciously short payload can never crash the loader.
+struct Reader {
+  const unsigned char* p;
+  std::size_t len;
+  std::size_t pos = 0;
+
+  bool get_u8(std::uint8_t* v) {
+    if (pos + 1 > len) return false;
+    *v = p[pos++];
+    return true;
+  }
+  bool get_u32(std::uint32_t* v) {
+    if (pos + 4 > len) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= static_cast<std::uint32_t>(p[pos++]) << (8 * i);
+    return true;
+  }
+  bool get_u64(std::uint64_t* v) {
+    if (pos + 8 > len) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= static_cast<std::uint64_t>(p[pos++]) << (8 * i);
+    return true;
+  }
+  bool get_addr(netbase::IPAddr* a) {
+    std::uint8_t tag = 0;
+    if (!get_u8(&tag)) return false;
+    if (tag == 4) {
+      if (pos + 4 > len) return false;
+      std::uint32_t v = 0;
+      for (int i = 0; i < 4; ++i) v = (v << 8) | p[pos++];
+      *a = netbase::IPAddr::v4(v);
+      return true;
+    }
+    if (tag == 6) {
+      if (pos + 16 > len) return false;
+      std::array<std::uint8_t, 16> bytes;
+      std::memcpy(bytes.data(), p + pos, 16);
+      pos += 16;
+      *a = netbase::IPAddr::v6(bytes);
+      return true;
+    }
+    return false;
+  }
+};
+
+constexpr char kMagic[4] = {'B', 'M', 'I', 'S'};
+constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 4;  // magic, version, size, crc
+
+constexpr std::uint8_t kFlagIxp = 1;
+constexpr std::uint8_t kFlagSeenNonEcho = 2;
+constexpr std::uint8_t kFlagSeenMidPath = 4;
+
+bool fail(std::string* error, const std::string& msg) {
+  if (error) *error = msg;
+  return false;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+Snapshot snapshot_from_result(const core::Result& result) {
+  Snapshot snap;
+  snap.iterations = static_cast<std::uint32_t>(result.iterations);
+  snap.iteration_stats = result.iteration_stats;
+  snap.router_count = result.graph.irs().size();
+
+  snap.interfaces.reserve(result.interfaces.size());
+  for (const auto& f : result.graph.interfaces()) {
+    const auto it = result.interfaces.find(f.addr);
+    if (it == result.interfaces.end()) continue;
+    SnapshotIface rec;
+    rec.addr = f.addr;
+    rec.router_id = static_cast<std::uint32_t>(f.ir);
+    rec.inf = it->second;
+    snap.interfaces.push_back(rec);
+  }
+  std::sort(snap.interfaces.begin(), snap.interfaces.end(),
+            [](const SnapshotIface& a, const SnapshotIface& b) {
+              return a.addr < b.addr;
+            });
+  snap.as_links = result.as_links();  // already sorted + deduped
+  return snap;
+}
+
+void write_snapshot(std::ostream& out, const Snapshot& snap) {
+  std::string payload;
+  put_u32(payload, snap.iterations);
+  put_u64(payload, snap.iteration_stats.size());
+  for (const auto& s : snap.iteration_stats) {
+    put_u64(payload, s.changed_irs);
+    put_u64(payload, s.changed_ifaces);
+  }
+  put_u64(payload, snap.router_count);
+  put_u64(payload, snap.interfaces.size());
+  for (const auto& rec : snap.interfaces) {
+    put_addr(payload, rec.addr);
+    put_u32(payload, rec.router_id);
+    put_u32(payload, rec.inf.router_as);
+    put_u32(payload, rec.inf.conn_as);
+    std::uint8_t flags = 0;
+    if (rec.inf.ixp) flags |= kFlagIxp;
+    if (rec.inf.seen_non_echo) flags |= kFlagSeenNonEcho;
+    if (rec.inf.seen_mid_path) flags |= kFlagSeenMidPath;
+    put_u8(payload, flags);
+  }
+  put_u64(payload, snap.as_links.size());
+  for (const auto& [a, b] : snap.as_links) {
+    put_u32(payload, a);
+    put_u32(payload, b);
+  }
+
+  std::string header;
+  header.append(kMagic, 4);
+  put_u32(header, kSnapshotVersion);
+  put_u64(header, payload.size());
+  put_u32(header, crc32(payload.data(), payload.size()));
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+bool write_snapshot_file(const std::string& path, const Snapshot& snap,
+                         std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return fail(error, "cannot create " + path);
+  write_snapshot(out, snap);
+  out.flush();
+  if (!out) return fail(error, "write failed for " + path);
+  return true;
+}
+
+bool load_snapshot(std::istream& in, Snapshot* out, std::string* error) {
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (data.size() < kHeaderSize)
+    return fail(error, "file too small for snapshot header");
+
+  Reader hdr{reinterpret_cast<const unsigned char*>(data.data()), kHeaderSize};
+  if (std::memcmp(data.data(), kMagic, 4) != 0)
+    return fail(error, "bad magic (not a bdrmapIT snapshot)");
+  hdr.pos = 4;
+  std::uint32_t version = 0, want_crc = 0;
+  std::uint64_t payload_size = 0;
+  hdr.get_u32(&version);
+  hdr.get_u64(&payload_size);
+  hdr.get_u32(&want_crc);
+  if (version != kSnapshotVersion)
+    return fail(error, "unsupported snapshot version " + std::to_string(version) +
+                           " (expected " + std::to_string(kSnapshotVersion) + ")");
+  if (data.size() - kHeaderSize != payload_size)
+    return fail(error, "payload size mismatch: header says " +
+                           std::to_string(payload_size) + " bytes, file has " +
+                           std::to_string(data.size() - kHeaderSize));
+  const std::uint32_t got_crc = crc32(data.data() + kHeaderSize, payload_size);
+  if (got_crc != want_crc)
+    return fail(error, "CRC mismatch (file corrupt)");
+
+  Reader r{reinterpret_cast<const unsigned char*>(data.data()) + kHeaderSize,
+           static_cast<std::size_t>(payload_size)};
+  Snapshot snap;
+  std::uint64_t n = 0;
+  if (!r.get_u32(&snap.iterations) || !r.get_u64(&n))
+    return fail(error, "truncated payload (iteration stats)");
+  // Counts are bounded by the payload size before any allocation, so a
+  // corrupt length can't trigger a giant reserve.
+  if (n > payload_size / 16)
+    return fail(error, "implausible iteration-stat count");
+  snap.iteration_stats.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    core::Annotator::IterationStats s;
+    std::uint64_t irs = 0, ifaces = 0;
+    if (!r.get_u64(&irs) || !r.get_u64(&ifaces))
+      return fail(error, "truncated payload (iteration stats)");
+    s.changed_irs = irs;
+    s.changed_ifaces = ifaces;
+    snap.iteration_stats.push_back(s);
+  }
+  if (!r.get_u64(&snap.router_count) || !r.get_u64(&n))
+    return fail(error, "truncated payload (interface table)");
+  if (n > payload_size / 18)  // v4 record: 5 addr + 12 ints + 1 flags
+    return fail(error, "implausible interface count");
+  snap.interfaces.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SnapshotIface rec;
+    std::uint8_t flags = 0;
+    if (!r.get_addr(&rec.addr) || !r.get_u32(&rec.router_id) ||
+        !r.get_u32(&rec.inf.router_as) || !r.get_u32(&rec.inf.conn_as) ||
+        !r.get_u8(&flags))
+      return fail(error, "truncated payload (interface table)");
+    rec.inf.ixp = flags & kFlagIxp;
+    rec.inf.seen_non_echo = flags & kFlagSeenNonEcho;
+    rec.inf.seen_mid_path = flags & kFlagSeenMidPath;
+    snap.interfaces.push_back(rec);
+  }
+  if (!r.get_u64(&n)) return fail(error, "truncated payload (AS links)");
+  if (n > payload_size / 8)
+    return fail(error, "implausible AS-link count");
+  snap.as_links.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint32_t a = 0, b = 0;
+    if (!r.get_u32(&a) || !r.get_u32(&b))
+      return fail(error, "truncated payload (AS links)");
+    snap.as_links.emplace_back(a, b);
+  }
+  if (r.pos != r.len)
+    return fail(error, "trailing bytes after payload");
+  *out = std::move(snap);
+  return true;
+}
+
+bool load_snapshot_file(const std::string& path, Snapshot* out,
+                        std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail(error, "cannot open " + path);
+  return load_snapshot(in, out, error);
+}
+
+}  // namespace serve

@@ -1,0 +1,83 @@
+#include "serve/store.hpp"
+
+#include <algorithm>
+
+namespace serve {
+
+namespace {
+const std::vector<std::pair<netbase::Asn, netbase::Asn>> kNoLinks;
+
+netbase::Prefix host_prefix(const netbase::IPAddr& a) noexcept {
+  return netbase::Prefix(a, a.bits());
+}
+}  // namespace
+
+AnnotationStore::AnnotationStore(Snapshot snap) : snap_(std::move(snap)) {
+  for (std::uint32_t i = 0; i < snap_.interfaces.size(); ++i) {
+    const SnapshotIface& rec = snap_.interfaces[i];
+    trie_.insert(host_prefix(rec.addr), i);
+    ++iface_count_by_as_[rec.inf.router_as];
+    if (rec.inf.interdomain()) ++stats_.border_interfaces;
+  }
+  for (const auto& link : snap_.as_links) {
+    links_by_as_[link.first].push_back(link);
+    links_by_as_[link.second].push_back(link);
+  }
+  // snap_.as_links is sorted, so each per-AS list built by a forward
+  // scan is sorted too; nothing to re-sort here.
+
+  stats_.interfaces = snap_.interfaces.size();
+  stats_.routers = snap_.router_count;
+  stats_.as_links = snap_.as_links.size();
+  stats_.iterations = snap_.iterations;
+  std::uint64_t ases = 0;
+  for (const auto& [asn, count] : iface_count_by_as_)
+    if (asn != netbase::kNoAs) ++ases;
+  stats_.ases = ases;
+}
+
+const SnapshotIface* AnnotationStore::find(
+    const netbase::IPAddr& addr) const noexcept {
+  const std::uint32_t* idx = trie_.find(host_prefix(addr));
+  return idx ? &snap_.interfaces[*idx] : nullptr;
+}
+
+const SnapshotIface* AnnotationStore::longest_match(
+    const netbase::IPAddr& addr) const noexcept {
+  const std::uint32_t* idx = trie_.lookup_value(addr);
+  return idx ? &snap_.interfaces[*idx] : nullptr;
+}
+
+std::vector<const SnapshotIface*> AnnotationStore::find_batch(
+    const std::vector<netbase::IPAddr>& addrs) const {
+  std::vector<const SnapshotIface*> out;
+  out.reserve(addrs.size());
+  for (const auto& a : addrs) out.push_back(find(a));
+  return out;
+}
+
+std::vector<const SnapshotIface*> AnnotationStore::find_under(
+    const netbase::Prefix& cidr) const {
+  std::vector<const SnapshotIface*> out;
+  trie_.visit_under(cidr, [&](const netbase::Prefix&, std::uint32_t idx) {
+    out.push_back(&snap_.interfaces[idx]);
+  });
+  std::sort(out.begin(), out.end(),
+            [](const SnapshotIface* a, const SnapshotIface* b) {
+              return a->addr < b->addr;
+            });
+  return out;
+}
+
+const std::vector<std::pair<netbase::Asn, netbase::Asn>>& AnnotationStore::links_of(
+    netbase::Asn asn) const noexcept {
+  const auto it = links_by_as_.find(asn);
+  return it == links_by_as_.end() ? kNoLinks : it->second;
+}
+
+std::uint64_t AnnotationStore::iface_count_of(netbase::Asn asn) const noexcept {
+  const auto it = iface_count_by_as_.find(asn);
+  return it == iface_count_by_as_.end() ? 0 : it->second;
+}
+
+}  // namespace serve

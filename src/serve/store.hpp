@@ -1,0 +1,83 @@
+// serve/store.hpp — in-memory query engine over a loaded snapshot.
+//
+// AnnotationStore indexes a serve::Snapshot three ways:
+//
+//   * a radix::RadixTrie keyed by host prefix for exact-interface and
+//     longest-prefix lookup, plus subtree enumeration for CIDR queries
+//     (`visit_under`);
+//   * AS → interdomain links involving that AS;
+//   * AS → number of interfaces whose router the AS operates.
+//
+// Lookups return pointers into the store's own interface table; they
+// stay valid for the store's lifetime. The batched API answers many
+// exact lookups in one call — the shape `bdrmapit_serve` uses for
+// multi-address IFACE lines and the bench drives for throughput.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "netbase/asn.hpp"
+#include "netbase/ip_addr.hpp"
+#include "netbase/prefix.hpp"
+#include "radix/radix_trie.hpp"
+#include "serve/snapshot.hpp"
+
+namespace serve {
+
+/// Aggregate numbers for the STATS reply.
+struct StoreStats {
+  std::uint64_t interfaces = 0;
+  std::uint64_t routers = 0;
+  std::uint64_t border_interfaces = 0;  ///< interdomain() true
+  std::uint64_t as_links = 0;
+  std::uint64_t ases = 0;  ///< distinct operating ASes
+  std::uint32_t iterations = 0;
+};
+
+class AnnotationStore {
+ public:
+  /// Takes ownership of the snapshot and builds all indexes.
+  explicit AnnotationStore(Snapshot snap);
+
+  AnnotationStore(const AnnotationStore&) = delete;
+  AnnotationStore& operator=(const AnnotationStore&) = delete;
+
+  /// Exact-interface lookup; nullptr if the address was never observed.
+  const SnapshotIface* find(const netbase::IPAddr& addr) const noexcept;
+
+  /// Longest-prefix lookup: the most specific stored entry covering
+  /// `addr`. With host-prefix entries this equals find(); kept separate
+  /// so future aggregate entries (e.g. per-prefix rollups) slot in.
+  const SnapshotIface* longest_match(const netbase::IPAddr& addr) const noexcept;
+
+  /// Batched exact lookup: out[i] answers addrs[i] (nullptr on miss).
+  std::vector<const SnapshotIface*> find_batch(
+      const std::vector<netbase::IPAddr>& addrs) const;
+
+  /// All interfaces inside `cidr`, in ascending address order.
+  std::vector<const SnapshotIface*> find_under(const netbase::Prefix& cidr) const;
+
+  /// Interdomain links involving `asn` (smaller ASN first in each pair),
+  /// ascending. Empty vector if the AS appears in none.
+  const std::vector<std::pair<netbase::Asn, netbase::Asn>>& links_of(
+      netbase::Asn asn) const noexcept;
+
+  /// Number of observed interfaces operated by `asn` (router_as == asn).
+  std::uint64_t iface_count_of(netbase::Asn asn) const noexcept;
+
+  StoreStats stats() const noexcept { return stats_; }
+  const Snapshot& snapshot() const noexcept { return snap_; }
+
+ private:
+  Snapshot snap_;
+  radix::RadixTrie<std::uint32_t> trie_;  ///< host prefix -> interface index
+  std::unordered_map<netbase::Asn, std::vector<std::pair<netbase::Asn, netbase::Asn>>>
+      links_by_as_;
+  std::unordered_map<netbase::Asn, std::uint64_t> iface_count_by_as_;
+  StoreStats stats_;
+};
+
+}  // namespace serve

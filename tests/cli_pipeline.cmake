@@ -1,8 +1,11 @@
 # tests/cli_pipeline.cmake — end-to-end CLI test driven by ctest.
 #
 # gen_testdata writes a synthetic bundle; bdrmapit_cli maps it (native
-# and ITDK outputs); ip2as_cli resolves addresses from the bundle's own
-# ground truth file. Any nonzero exit or missing/empty output fails.
+# and ITDK outputs, plus a binary snapshot); bdrmapit_serve answers
+# IFACE queries from the snapshot, which must match the TSV output
+# line for line; corrupt snapshots must be rejected; ip2as_cli resolves
+# addresses from the bundle's own ground truth file. Any nonzero exit
+# or missing/empty output fails.
 
 function(run)
   execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc)
@@ -39,11 +42,61 @@ run(${CLI}
     --aliases ${OUT}/data/aliases.nodes
     --output ${OUT}/annotations.tsv
     --as-links ${OUT}/aslinks.tsv
-    --itdk ${OUT}/itdk)
+    --itdk ${OUT}/itdk
+    --snapshot-out ${OUT}/map.snap)
 check_nonempty(${OUT}/annotations.tsv)
 check_nonempty(${OUT}/aslinks.tsv)
 check_nonempty(${OUT}/itdk.nodes)
 check_nonempty(${OUT}/itdk.nodes.as)
+check_nonempty(${OUT}/map.snap)
+
+# ---- serve: every IFACE reply must equal its annotations.tsv row ------
+file(STRINGS ${OUT}/annotations.tsv tsv_lines)
+set(queries "")
+set(expected "")
+foreach(line IN LISTS tsv_lines)
+  if(NOT line MATCHES "^#")
+    string(REGEX REPLACE "\t.*" "" addr "${line}")
+    string(APPEND queries "IFACE ${addr}\n")
+    string(APPEND expected "${line}\n")
+  endif()
+endforeach()
+file(WRITE ${OUT}/queries.txt "${queries}")
+file(WRITE ${OUT}/expected.tsv "${expected}")
+execute_process(COMMAND ${SERVE} --snapshot ${OUT}/map.snap --quiet
+                INPUT_FILE ${OUT}/queries.txt
+                OUTPUT_FILE ${OUT}/replies.tsv
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bdrmapit_serve failed (${rc})")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${OUT}/replies.tsv ${OUT}/expected.tsv
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve IFACE replies differ from annotations.tsv")
+endif()
+
+# Corrupt snapshots must be rejected with a nonzero exit. (Byte-level
+# truncation and bit flips are unit-tested in serve_test.cpp; CMake
+# script mode cannot splice binary data, so corrupt structurally here.)
+configure_file(${OUT}/map.snap ${OUT}/corrupt.snap COPYONLY)
+file(APPEND ${OUT}/corrupt.snap "trailing garbage")
+execute_process(COMMAND ${SERVE} --snapshot ${OUT}/corrupt.snap --quiet
+                INPUT_FILE ${OUT}/queries.txt
+                OUTPUT_QUIET ERROR_QUIET
+                RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "bdrmapit_serve accepted a corrupt snapshot")
+endif()
+file(WRITE ${OUT}/fake.snap "not a snapshot: annotations.tsv pretending\n")
+execute_process(COMMAND ${SERVE} --snapshot ${OUT}/fake.snap --quiet
+                INPUT_FILE ${OUT}/queries.txt
+                OUTPUT_QUIET ERROR_QUIET
+                RESULT_VARIABLE rc)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "bdrmapit_serve accepted a non-snapshot file")
+endif()
 
 # An ablation switch must also run cleanly.
 run(${CLI}

@@ -1,0 +1,272 @@
+// Tests for the serving layer: snapshot serialization round-trips,
+// corrupt/truncated files are rejected with a diagnostic, and the
+// AnnotationStore answers every query consistently with the Result it
+// was built from.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "eval/experiment.hpp"
+#include "serve/store.hpp"
+
+namespace {
+
+struct Run {
+  eval::Scenario scenario;
+  core::Result result;
+};
+
+Run run_small(std::uint64_t seed, std::size_t vps = 12) {
+  eval::Scenario s = eval::make_scenario(topo::small_params(), vps, true, seed);
+  core::Result r =
+      core::Bdrmapit::run(s.corpus, eval::midar_aliases(s), s.ip2as, s.rels);
+  return Run{std::move(s), std::move(r)};
+}
+
+std::string serialize(const serve::Snapshot& snap) {
+  std::ostringstream out;
+  serve::write_snapshot(out, snap);
+  return out.str();
+}
+
+serve::Snapshot must_load(const std::string& bytes) {
+  std::istringstream in(bytes);
+  serve::Snapshot snap;
+  std::string error;
+  EXPECT_TRUE(serve::load_snapshot(in, &snap, &error)) << error;
+  return snap;
+}
+
+bool load_fails(const std::string& bytes, std::string* error = nullptr) {
+  std::istringstream in(bytes);
+  serve::Snapshot snap;
+  std::string err;
+  const bool ok = serve::load_snapshot(in, &snap, &err);
+  if (error) *error = err;
+  return !ok;
+}
+
+}  // namespace
+
+TEST(Crc32, KnownVector) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(serve::crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(serve::crc32("", 0), 0u);
+}
+
+TEST(Snapshot, RoundTripIsLossless) {
+  auto run = run_small(5);
+  const serve::Snapshot snap = serve::snapshot_from_result(run.result);
+  ASSERT_EQ(snap.interfaces.size(), run.result.interfaces.size());
+
+  const serve::Snapshot back = must_load(serialize(snap));
+  EXPECT_EQ(back.iterations, snap.iterations);
+  EXPECT_EQ(back.router_count, snap.router_count);
+  ASSERT_EQ(back.iteration_stats.size(), snap.iteration_stats.size());
+  for (std::size_t i = 0; i < snap.iteration_stats.size(); ++i) {
+    EXPECT_EQ(back.iteration_stats[i].changed_irs,
+              snap.iteration_stats[i].changed_irs);
+    EXPECT_EQ(back.iteration_stats[i].changed_ifaces,
+              snap.iteration_stats[i].changed_ifaces);
+  }
+  ASSERT_EQ(back.interfaces.size(), snap.interfaces.size());
+  for (std::size_t i = 0; i < snap.interfaces.size(); ++i) {
+    EXPECT_EQ(back.interfaces[i].addr, snap.interfaces[i].addr);
+    EXPECT_EQ(back.interfaces[i].router_id, snap.interfaces[i].router_id);
+    EXPECT_EQ(back.interfaces[i].inf.router_as, snap.interfaces[i].inf.router_as);
+    EXPECT_EQ(back.interfaces[i].inf.conn_as, snap.interfaces[i].inf.conn_as);
+    EXPECT_EQ(back.interfaces[i].inf.ixp, snap.interfaces[i].inf.ixp);
+    EXPECT_EQ(back.interfaces[i].inf.seen_non_echo,
+              snap.interfaces[i].inf.seen_non_echo);
+    EXPECT_EQ(back.interfaces[i].inf.seen_mid_path,
+              snap.interfaces[i].inf.seen_mid_path);
+  }
+  EXPECT_EQ(back.as_links, snap.as_links);
+}
+
+TEST(Snapshot, SerializationIsDeterministic) {
+  auto a = run_small(9);
+  auto b = run_small(9);
+  EXPECT_EQ(serialize(serve::snapshot_from_result(a.result)),
+            serialize(serve::snapshot_from_result(b.result)));
+}
+
+TEST(Snapshot, AsLinksOrderingStableAcrossRuns) {
+  // Result::as_links() feeds the snapshot; its ordering (and therefore
+  // the snapshot bytes and every LINKS reply) must not depend on
+  // unordered_map iteration order.
+  auto a = run_small(13);
+  auto b = run_small(13);
+  const auto la = a.result.as_links();
+  const auto lb = b.result.as_links();
+  ASSERT_EQ(la, lb);
+  EXPECT_TRUE(std::is_sorted(la.begin(), la.end()));
+  for (const auto& [x, y] : la) EXPECT_LT(x, y);
+}
+
+TEST(Snapshot, RejectsGarbageAndShortFiles) {
+  std::string error;
+  EXPECT_TRUE(load_fails("", &error));
+  EXPECT_NE(error.find("too small"), std::string::npos) << error;
+  EXPECT_TRUE(load_fails("BMIS", &error));  // header cut off
+  EXPECT_TRUE(load_fails("this is not a snapshot at all", &error));
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+}
+
+TEST(Snapshot, RejectsTruncation) {
+  auto run = run_small(5);
+  const std::string bytes = serialize(serve::snapshot_from_result(run.result));
+  // Every strict prefix must fail — header checks catch most, payload
+  // bounds checks the rest. Sample a spread of cut points.
+  for (std::size_t keep : {std::size_t{1}, std::size_t{10}, std::size_t{19},
+                           std::size_t{20}, bytes.size() / 2, bytes.size() - 1}) {
+    ASSERT_LT(keep, bytes.size());
+    EXPECT_TRUE(load_fails(bytes.substr(0, keep))) << "kept " << keep;
+  }
+}
+
+TEST(Snapshot, RejectsTrailingGarbage) {
+  auto run = run_small(5);
+  std::string bytes = serialize(serve::snapshot_from_result(run.result));
+  bytes += "extra";
+  std::string error;
+  EXPECT_TRUE(load_fails(bytes, &error));
+  EXPECT_NE(error.find("size mismatch"), std::string::npos) << error;
+}
+
+TEST(Snapshot, RejectsBitFlips) {
+  auto run = run_small(5);
+  const std::string good = serialize(serve::snapshot_from_result(run.result));
+  // Flip one byte at a spread of offsets across the payload; the CRC
+  // must catch every one.
+  for (std::size_t off = 20; off < good.size(); off += good.size() / 37 + 1) {
+    std::string bad = good;
+    bad[off] = static_cast<char>(bad[off] ^ 0x40);
+    EXPECT_TRUE(load_fails(bad)) << "flip at " << off;
+  }
+}
+
+TEST(Snapshot, RejectsUnsupportedVersion) {
+  auto run = run_small(5);
+  std::string bytes = serialize(serve::snapshot_from_result(run.result));
+  bytes[4] = 'c';  // version lives at offset 4, little-endian
+  std::string error;
+  EXPECT_TRUE(load_fails(bytes, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(Store, AnswersMatchResult) {
+  auto run = run_small(7);
+  const serve::AnnotationStore store(
+      must_load(serialize(serve::snapshot_from_result(run.result))));
+  ASSERT_EQ(store.stats().interfaces, run.result.interfaces.size());
+  for (const auto& [addr, inf] : run.result.interfaces) {
+    const auto* rec = store.find(addr);
+    ASSERT_NE(rec, nullptr) << addr.to_string();
+    EXPECT_EQ(rec->inf.router_as, inf.router_as);
+    EXPECT_EQ(rec->inf.conn_as, inf.conn_as);
+    EXPECT_EQ(rec->inf.ixp, inf.ixp);
+    EXPECT_EQ(rec->inf.flags(), inf.flags());
+    // Host-prefix entries: longest match agrees with exact.
+    EXPECT_EQ(store.longest_match(addr), rec);
+  }
+  EXPECT_EQ(store.find(netbase::IPAddr::must_parse("255.255.255.254")), nullptr);
+}
+
+TEST(Store, BatchedEqualsSingles) {
+  auto run = run_small(7);
+  const serve::AnnotationStore store(
+      must_load(serialize(serve::snapshot_from_result(run.result))));
+  std::vector<netbase::IPAddr> addrs;
+  for (const auto& rec : store.snapshot().interfaces) addrs.push_back(rec.addr);
+  addrs.push_back(netbase::IPAddr::must_parse("203.0.113.250"));  // likely miss
+  const auto batch = store.find_batch(addrs);
+  ASSERT_EQ(batch.size(), addrs.size());
+  for (std::size_t i = 0; i < addrs.size(); ++i)
+    EXPECT_EQ(batch[i], store.find(addrs[i]));
+}
+
+TEST(Store, PrefixEnumerationMatchesFilter) {
+  auto run = run_small(7);
+  const serve::AnnotationStore store(
+      must_load(serialize(serve::snapshot_from_result(run.result))));
+  const auto& all = store.snapshot().interfaces;
+
+  // The whole v4 space enumerates every interface, in address order.
+  const auto everything = store.find_under(netbase::Prefix::must_parse("0.0.0.0/0"));
+  std::size_t v4_count = 0;
+  for (const auto& rec : all) v4_count += rec.addr.is_v4();
+  EXPECT_EQ(everything.size(), v4_count);
+  for (std::size_t i = 1; i < everything.size(); ++i)
+    EXPECT_LT(everything[i - 1]->addr, everything[i]->addr);
+
+  // Every /20 around an observed address returns exactly the brute-force
+  // filtered set.
+  for (std::size_t i = 0; i < all.size(); i += all.size() / 16 + 1) {
+    const netbase::Prefix p(all[i].addr, 20);
+    const auto got = store.find_under(p);
+    std::size_t expect = 0;
+    for (const auto& rec : all) expect += p.contains(rec.addr);
+    EXPECT_EQ(got.size(), expect) << p.to_string();
+    for (const auto* rec : got) EXPECT_TRUE(p.contains(rec->addr));
+  }
+}
+
+TEST(Store, SecondaryIndexesAreConsistent) {
+  auto run = run_small(7);
+  const serve::AnnotationStore store(
+      must_load(serialize(serve::snapshot_from_result(run.result))));
+  const auto links = run.result.as_links();
+  ASSERT_FALSE(links.empty());
+  EXPECT_EQ(store.stats().as_links, links.size());
+
+  // Each AS's link list is exactly the global list filtered to it.
+  std::unordered_set<netbase::Asn> ases;
+  for (const auto& [a, b] : links) {
+    ases.insert(a);
+    ases.insert(b);
+  }
+  for (netbase::Asn asn : ases) {
+    const auto& got = store.links_of(asn);
+    std::vector<std::pair<netbase::Asn, netbase::Asn>> expect;
+    for (const auto& l : links)
+      if (l.first == asn || l.second == asn) expect.push_back(l);
+    EXPECT_EQ(got, expect) << "AS" << asn;
+  }
+  EXPECT_TRUE(store.links_of(4200000001u).empty());
+
+  // Interface counts per AS sum to the table size.
+  std::unordered_map<netbase::Asn, std::uint64_t> counts;
+  for (const auto& rec : store.snapshot().interfaces)
+    ++counts[rec.inf.router_as];
+  std::uint64_t total = 0;
+  for (const auto& [asn, n] : counts) {
+    EXPECT_EQ(store.iface_count_of(asn), n);
+    total += n;
+  }
+  EXPECT_EQ(total, store.stats().interfaces);
+  EXPECT_EQ(store.iface_count_of(4200000001u), 0u);
+
+  // Router ids stay within the router count and group aliases together.
+  for (const auto& rec : store.snapshot().interfaces)
+    EXPECT_LT(rec.router_id, store.stats().routers);
+}
+
+TEST(Store, RouterMembershipMatchesGraph) {
+  auto run = run_small(7);
+  const serve::AnnotationStore store(
+      must_load(serialize(serve::snapshot_from_result(run.result))));
+  // Two addresses on the same IR in the graph share a router_id in the
+  // store, and vice versa.
+  const auto& g = run.result.graph;
+  for (const auto& f : g.interfaces()) {
+    const auto* rec = store.find(f.addr);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->router_id, static_cast<std::uint32_t>(f.ir));
+  }
+}
