@@ -6,10 +6,14 @@
 //   bdrmapit_cli --traces FILE --rib FILE --rels FILE
 //                [--delegations FILE] [--ixp FILE] [--aliases FILE]
 //                [--output FILE] [--as-links FILE] [--snapshot-out FILE]
-//                [--max-iterations N]
+//                [--max-iterations N] [--threads N]
 //                [--no-last-hop-dest] [--no-third-party]
 //                [--no-reallocated] [--no-exceptions] [--no-hidden-as]
 //                [--no-link-class-filter]
+//
+// --threads N parallelizes ingest, graph construction, and the
+// refinement sweeps across N executors (default: hardware
+// concurrency). Output is byte-identical for every thread count.
 //
 // Inputs:
 //   --traces       traceroute corpus (T|vp|dst|ttl:addr:type;... lines)
@@ -46,7 +50,7 @@ void usage(const char* argv0) {
                "usage: %s --traces FILE --rib FILE --rels FILE\n"
                "          [--delegations FILE] [--ixp FILE] [--aliases FILE]\n"
                "          [--output FILE] [--as-links FILE] [--snapshot-out FILE]\n"
-               "          [--max-iterations N]\n"
+               "          [--max-iterations N] [--threads N]\n"
                "          [--no-last-hop-dest] [--no-third-party] "
                "[--no-reallocated]\n"
                "          [--no-exceptions] [--no-hidden-as] "
@@ -113,6 +117,19 @@ int main(int argc, char** argv) {
     }
     opt.max_iterations = static_cast<int>(n);
   }
+  opt.threads = 0;  // CLI default: hardware concurrency
+  if (args.contains("threads")) {
+    const std::string& v = args["threads"];
+    char* end = nullptr;
+    const long n = std::strtol(v.c_str(), &end, 10);
+    if (v.empty() || *end != '\0' || n < 1 || n > 1024) {
+      std::fprintf(stderr,
+                   "error: --threads expects a positive integer (1..1024), "
+                   "got '%s'\n", v.c_str());
+      return 1;
+    }
+    opt.threads = static_cast<int>(n);
+  }
 
   // ---- load inputs ----------------------------------------------------
   bgp::Rib rib;
@@ -157,9 +174,9 @@ int main(int argc, char** argv) {
     std::size_t bad = 0;
     if (!first.empty() && first.find_first_not_of(" \t") != std::string::npos &&
         first[first.find_first_not_of(" \t")] == '{')
-      corpus = tracedata::read_json_traceroutes(in, &bad);
+      corpus = tracedata::read_json_traceroutes(in, &bad, opt.threads);
     else
-      corpus = tracedata::read_traceroutes(in, &bad);
+      corpus = tracedata::read_traceroutes(in, &bad, opt.threads);
     if (bad) std::fprintf(stderr, "warning: %zu malformed traceroute lines\n", bad);
   }
   tracedata::AliasSets aliases;

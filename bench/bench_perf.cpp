@@ -6,9 +6,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "bench_util.hpp"
 #include "core/annotator.hpp"
 #include "radix/radix_trie.hpp"
+#include "tracedata/scamper_json.hpp"
 
 namespace {
 
@@ -63,6 +66,43 @@ void BM_GraphBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphBuild)->Unit(benchmark::kMillisecond);
 
+// Threaded variants: Arg is the executor count. On a single-core host
+// these collapse to roughly the serial time plus scheduling overhead;
+// on multicore hardware graph construction and refinement scale with
+// the thread count while producing byte-identical results.
+void BM_GraphBuildThreads(benchmark::State& state) {
+  const auto& s = shared_scenario();
+  const auto aliases = eval::midar_aliases(s);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto g = graph::Graph::build(s.corpus, aliases, s.ip2as, s.rels, threads);
+    benchmark::DoNotOptimize(g.irs().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.corpus.size()));
+}
+BENCHMARK(BM_GraphBuildThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IngestParseThreads(benchmark::State& state) {
+  const auto& s = shared_scenario();
+  std::ostringstream json;
+  tracedata::write_json_traceroutes(json, s.corpus);
+  const std::string blob = json.str();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::istringstream in(blob);
+    auto traces = tracedata::read_json_traceroutes(in, nullptr, threads);
+    benchmark::DoNotOptimize(traces.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.corpus.size()));
+}
+BENCHMARK(BM_IngestParseThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_RefinementIteration(benchmark::State& state) {
   const auto& s = shared_scenario();
   const auto aliases = eval::midar_aliases(s);
@@ -91,6 +131,43 @@ void BM_FullPipeline(benchmark::State& state) {
                           static_cast<std::int64_t>(s.corpus.size()));
 }
 BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_RefinementIterationThreads(benchmark::State& state) {
+  const auto& s = shared_scenario();
+  const auto aliases = eval::midar_aliases(s);
+  auto g = graph::Graph::build(s.corpus, aliases, s.ip2as, s.rels);
+  core::AnnotatorOptions opt;
+  opt.threads = static_cast<int>(state.range(0));
+  core::Annotator ann(g, s.rels, opt);
+  for (auto& f : g.interfaces())
+    f.annotation = f.origin.announced() ? f.origin.asn : netbase::kNoAs;
+  ann.annotate_last_hops();
+  for (auto _ : state) {
+    ann.annotate_irs();
+    ann.annotate_interfaces();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.irs().size()));
+}
+BENCHMARK(BM_RefinementIterationThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullPipelineThreads(benchmark::State& state) {
+  const auto& s = shared_scenario();
+  const auto aliases = eval::midar_aliases(s);
+  core::AnnotatorOptions opt;
+  opt.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = core::Bdrmapit::run(s.corpus, aliases, s.ip2as, s.rels, opt);
+    benchmark::DoNotOptimize(r.iterations);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(s.corpus.size()));
+}
+BENCHMARK(BM_FullPipelineThreads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_MapItBaseline(benchmark::State& state) {
   const auto& s = shared_scenario();

@@ -9,6 +9,7 @@
 #include <chrono>
 
 #include "bench_util.hpp"
+#include "parallel/thread_pool.hpp"
 
 int main() {
   benchutil::print_header("Scale — corpus growth vs runtime and accuracy");
@@ -38,8 +39,11 @@ int main() {
     sizes.push_back(s);
   }
 
-  std::printf("%-8s %6s %9s %9s %6s %9s %10s %10s\n", "size", "ASes", "traces",
-              "ifaces", "iters", "map-time", "precision", "recall");
+  const unsigned hw = parallel::hardware_threads();
+  std::printf("%u hardware threads\n", hw);
+  std::printf("%-8s %6s %9s %9s %6s %9s %9s %10s %10s\n", "size", "ASes",
+              "traces", "ifaces", "iters", "map-t1", "map-tN", "precision",
+              "recall");
   for (const auto& sz : sizes) {
     eval::Scenario s = eval::make_scenario(sz.params, sz.vps, true, 2018);
     const auto aliases = eval::midar_aliases(s);
@@ -50,6 +54,22 @@ int main() {
     const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
 
+    // Same pipeline on all hardware threads; results are byte-identical,
+    // only the wall time changes.
+    core::AnnotatorOptions threaded;
+    threaded.threads = 0;  // hardware concurrency
+    const auto t2 = std::chrono::steady_clock::now();
+    core::Result rt = core::Bdrmapit::run(s.corpus, aliases, s.ip2as, s.rels,
+                                          threaded);
+    const auto t3 = std::chrono::steady_clock::now();
+    const double ms_threaded =
+        std::chrono::duration<double, std::milli>(t3 - t2).count();
+    if (rt.interfaces.size() != r.interfaces.size() ||
+        rt.iterations != r.iterations) {
+      std::fprintf(stderr, "threaded run diverged from serial run\n");
+      return 1;
+    }
+
     double p = 0, rec = 0;
     std::size_t n = 0;
     for (const auto& [label, asn] : eval::validation_networks(s.net)) {
@@ -58,9 +78,10 @@ int main() {
       rec += m.recall();
       ++n;
     }
-    std::printf("%-8s %6zu %9zu %9zu %6d %7.0fms %9.1f%% %9.1f%%\n", sz.label,
-                s.net.ases().size(), s.corpus.size(), r.interfaces.size(),
-                r.iterations, ms, 100.0 * p / static_cast<double>(n),
+    std::printf("%-8s %6zu %9zu %9zu %6d %7.0fms %7.0fms %9.1f%% %9.1f%%\n",
+                sz.label, s.net.ases().size(), s.corpus.size(),
+                r.interfaces.size(), r.iterations, ms, ms_threaded,
+                100.0 * p / static_cast<double>(n),
                 100.0 * rec / static_cast<double>(n));
   }
   return 0;

@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "parallel/thread_pool.hpp"
+
 namespace core {
 namespace {
 
@@ -168,6 +170,11 @@ void Annotator::annotate_last_hops() {
 
 netbase::Asn Annotator::link_vote(const graph::IR& ir, const graph::Link& l) const {
   (void)ir;
+  return link_vote(l, ir_annotations());
+}
+
+netbase::Asn Annotator::link_vote(const graph::Link& l,
+                                  const std::vector<Asn>& ir_annot) const {
   const graph::Interface& j = g_.interfaces()[static_cast<std::size_t>(l.iface)];
 
   // Line 1: the subsequent origin already appeared on this side of the
@@ -190,7 +197,7 @@ netbase::Asn Annotator::link_vote(const graph::IR& ir, const graph::Link& l) con
     return best;
   }
 
-  const Asn ir_j = g_.irs()[static_cast<std::size_t>(j.ir)].annotation;
+  const Asn ir_j = ir_annot[static_cast<std::size_t>(j.ir)];
 
   // Line 5 (guarded by line 4): unannounced subsequent address — vote
   // for its IR's annotation instead, letting annotations propagate
@@ -222,6 +229,11 @@ netbase::Asn Annotator::link_vote(const graph::IR& ir, const graph::Link& l) con
 // ======================================================================
 
 netbase::Asn Annotator::annotate_ir(const graph::IR& ir) const {
+  return annotate_ir(ir, ir_annotations());
+}
+
+netbase::Asn Annotator::annotate_ir(const graph::IR& ir,
+                                    const std::vector<Asn>& ir_annot) const {
   // §4.2/§6.1.1: use only the highest-confidence link class present.
   graph::LinkLabel best_class = graph::LinkLabel::multihop;
   if (opt_.use_link_class_filter)
@@ -240,7 +252,7 @@ netbase::Asn Annotator::annotate_ir(const graph::IR& ir) const {
   for (int lid : ir.out_links) {
     const graph::Link& l = g_.links()[static_cast<std::size_t>(lid)];
     if (l.label != best_class) continue;
-    const Asn a = link_vote(ir, l);
+    const Asn a = link_vote(l, ir_annot);
     if (a == kNoAs) continue;
     ++V[a];
     for (Asn o : l.origin_set) graph::set_insert(M[a], o);
@@ -265,7 +277,7 @@ netbase::Asn Annotator::annotate_ir(const graph::IR& ir) const {
         const graph::Interface& j =
             g_.interfaces()[static_cast<std::size_t>(lv->link->iface)];
         if (!j.addr.matches(first_addr, 24)) same24 = false;
-        const Asn annot = g_.irs()[static_cast<std::size_t>(j.ir)].annotation;
+        const Asn annot = ir_annot[static_cast<std::size_t>(j.ir)];
         if (x == kNoAs)
           x = annot;
         else if (annot != x)
@@ -393,13 +405,28 @@ netbase::Asn Annotator::annotate_ir(const graph::IR& ir) const {
   return a;
 }
 
+std::vector<netbase::Asn> Annotator::ir_annotations() const {
+  std::vector<Asn> snap(g_.irs().size());
+  for (std::size_t i = 0; i < snap.size(); ++i) snap[i] = g_.irs()[i].annotation;
+  return snap;
+}
+
 bool Annotator::annotate_irs() {
+  auto& irs = g_.irs();
+  // Jacobi sweep: every IR is annotated against the previous
+  // iteration's frozen annotations, then all updates commit at once —
+  // order-independent, hence parallel with identical results for any
+  // thread count.
+  const std::vector<Asn> prev = ir_annotations();
+  std::vector<Asn> next(irs.size(), kNoAs);
+  parallel::parallel_for(irs.size(), opt_.threads, [&](std::size_t i) {
+    if (!irs[i].last_hop) next[i] = annotate_ir(irs[i], prev);
+  });
   std::size_t changed = 0;
-  for (auto& ir : g_.irs()) {
-    if (ir.last_hop) continue;
-    const Asn a = annotate_ir(ir);
-    if (a != kNoAs && a != ir.annotation) {
-      ir.annotation = a;
+  for (std::size_t i = 0; i < irs.size(); ++i) {
+    if (irs[i].last_hop) continue;
+    if (next[i] != kNoAs && next[i] != irs[i].annotation) {
+      irs[i].annotation = next[i];
       ++changed;
     }
   }
@@ -411,70 +438,84 @@ bool Annotator::annotate_irs() {
 // Phase 3: §6.2 — annotate interfaces
 // ======================================================================
 
-bool Annotator::annotate_interfaces() {
-  bool changed = false;
-  for (auto& b : g_.interfaces()) {
-    if (b.origin.is_ixp()) continue;  // IXP fabric: not a point-to-point side
-
-    Asn chosen;
-    const Asn ir_as = g_.irs()[static_cast<std::size_t>(b.ir)].annotation;
-    if (b.origin.announced() && b.origin.asn != ir_as) {
-      // The address comes from the AS operating the *connected* router.
-      chosen = b.origin.asn;
+netbase::Asn Annotator::interface_choice(const graph::Interface& b) const {
+  Asn chosen;
+  const Asn ir_as = g_.irs()[static_cast<std::size_t>(b.ir)].annotation;
+  if (b.origin.announced() && b.origin.asn != ir_as) {
+    // The address comes from the AS operating the *connected* router.
+    chosen = b.origin.asn;
+  } else {
+    // Vote among connected IRs: one vote per interface of each
+    // preceding IR seen immediately prior to b (Fig. 13b). Per the
+    // §4.2 confidence rule, only the highest-confidence incoming link
+    // class present participates — a Multihop edge across a silent
+    // router must not outvote a directly observed Nexthop neighbor.
+    graph::LinkLabel best = graph::LinkLabel::multihop;
+    if (opt_.use_link_class_filter)
+      for (int lid : b.in_links)
+        best = std::min(best, g_.links()[static_cast<std::size_t>(lid)].label);
+    std::unordered_map<int, std::unordered_set<int>> prev;  // ir -> ifaces
+    for (int lid : b.in_links) {
+      const graph::Link& l = g_.links()[static_cast<std::size_t>(lid)];
+      if (l.label != best) continue;
+      prev[l.ir].insert(l.prev_ifaces.begin(), l.prev_ifaces.end());
+    }
+    std::unordered_map<Asn, int> W;
+    for (const auto& [prev_ir, prev_ifaces] : prev) {
+      const Asn a = g_.irs()[static_cast<std::size_t>(prev_ir)].annotation;
+      if (a != kNoAs) W[a] += static_cast<int>(prev_ifaces.size());
+    }
+    if (W.empty()) {
+      chosen = b.origin.announced() ? b.origin.asn : kNoAs;
     } else {
-      // Vote among connected IRs: one vote per interface of each
-      // preceding IR seen immediately prior to b (Fig. 13b). Per the
-      // §4.2 confidence rule, only the highest-confidence incoming link
-      // class present participates — a Multihop edge across a silent
-      // router must not outvote a directly observed Nexthop neighbor.
-      graph::LinkLabel best = graph::LinkLabel::multihop;
-      if (opt_.use_link_class_filter)
-        for (int lid : b.in_links)
-          best = std::min(best, g_.links()[static_cast<std::size_t>(lid)].label);
-      std::unordered_map<int, std::unordered_set<int>> prev;  // ir -> ifaces
-      for (int lid : b.in_links) {
-        const graph::Link& l = g_.links()[static_cast<std::size_t>(lid)];
-        if (l.label != best) continue;
-        prev[l.ir].insert(l.prev_ifaces.begin(), l.prev_ifaces.end());
-      }
-      std::unordered_map<Asn, int> W;
-      for (const auto& [prev_ir, prev_ifaces] : prev) {
-        const Asn a = g_.irs()[static_cast<std::size_t>(prev_ir)].annotation;
-        if (a != kNoAs) W[a] += static_cast<int>(prev_ifaces.size());
-      }
-      if (W.empty()) {
-        chosen = b.origin.announced() ? b.origin.asn : kNoAs;
+      const auto votes = to_votes(W);
+      int top = 0;
+      for (const auto& [a, c] : votes) top = std::max(top, c);
+      std::vector<Asn> tied;
+      for (const auto& [a, c] : votes)
+        if (c == top) tied.push_back(a);
+      if (tied.size() == 1) {
+        chosen = tied.front();
       } else {
-        const auto votes = to_votes(W);
-        int top = 0;
-        for (const auto& [a, c] : votes) top = std::max(top, c);
-        std::vector<Asn> tied;
-        for (const auto& [a, c] : votes)
-          if (c == top) tied.push_back(a);
-        if (tied.size() == 1) {
-          chosen = tied.front();
-        } else {
-          // Tie: largest cone among those with a BGP-observed
-          // relationship to the interface origin AS; none → origin.
-          Asn best = kNoAs;
-          std::size_t best_cone = 0;
-          for (Asn a : tied) {
-            if (!b.origin.announced() ||
-                (a != b.origin.asn && !rels_.has_relationship(a, b.origin.asn)))
-              continue;
-            const std::size_t c = rels_.cone_size(a);
-            if (best == kNoAs || c > best_cone || (c == best_cone && a < best)) {
-              best = a;
-              best_cone = c;
-            }
+        // Tie: largest cone among those with a BGP-observed
+        // relationship to the interface origin AS; none → origin.
+        Asn best_as = kNoAs;
+        std::size_t best_cone = 0;
+        for (Asn a : tied) {
+          if (!b.origin.announced() ||
+              (a != b.origin.asn && !rels_.has_relationship(a, b.origin.asn)))
+            continue;
+          const std::size_t c = rels_.cone_size(a);
+          if (best_as == kNoAs || c > best_cone || (c == best_cone && a < best_as)) {
+            best_as = a;
+            best_cone = c;
           }
-          chosen = best != kNoAs ? best
-                                 : (b.origin.announced() ? b.origin.asn : kNoAs);
         }
+        chosen = best_as != kNoAs
+                     ? best_as
+                     : (b.origin.announced() ? b.origin.asn : kNoAs);
       }
     }
-    if (chosen != b.annotation) {
-      b.annotation = chosen;
+  }
+  return chosen;
+}
+
+bool Annotator::annotate_interfaces() {
+  auto& ifaces = g_.interfaces();
+  // Jacobi sweep: choices read only frozen state (IR annotations and
+  // graph metadata, never other interface annotations), so computing
+  // them into a side array and committing serially is exactly the
+  // serial sweep, for any thread count.
+  std::vector<Asn> next(ifaces.size(), kNoAs);
+  parallel::parallel_for(ifaces.size(), opt_.threads, [&](std::size_t i) {
+    if (!ifaces[i].origin.is_ixp()) next[i] = interface_choice(ifaces[i]);
+  });
+  bool changed = false;
+  for (std::size_t i = 0; i < ifaces.size(); ++i) {
+    graph::Interface& b = ifaces[i];
+    if (b.origin.is_ixp()) continue;  // IXP fabric: not a point-to-point side
+    if (next[i] != b.annotation) {
+      b.annotation = next[i];
       changed = true;
       if (!stats_.empty()) ++stats_.back().changed_ifaces;
     }

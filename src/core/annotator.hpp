@@ -13,9 +13,14 @@
 //   third-party handling, the reallocated-prefix correction, the
 //   multihomed-customer and multi-peer exceptions, restricted-set
 //   voting, and the hidden-AS check), then re-annotates every interface
-//   with the AS on the other side of its link (§6.2). The loop stops at
-//   a repeated state — detected by hashing the complete annotation
-//   vector, which also catches limit cycles — or at a safety cap.
+//   with the AS on the other side of its link (§6.2). Both sweeps are
+//   Jacobi passes: every annotation is computed from an immutable
+//   snapshot of the previous iteration's state and committed after the
+//   sweep, so a sweep's result does not depend on IR order — which
+//   makes the sweeps parallelizable with bit-identical results for any
+//   thread count. The loop stops at a repeated state — detected by
+//   hashing the complete annotation vector, which also catches limit
+//   cycles — or at a safety cap.
 //
 // All reasoning is local: an IR looks only at its own metadata and the
 // current annotations of immediate neighbors; information travels
@@ -33,6 +38,13 @@ namespace core {
 
 struct AnnotatorOptions {
   int max_iterations = 64;  ///< safety cap on refinement iterations
+
+  /// Executors for the refinement sweeps (<= 0 means hardware
+  /// concurrency). Sweeps are Jacobi passes — every annotation is
+  /// computed from an immutable snapshot of the previous iteration and
+  /// committed afterwards — so the result is identical for every
+  /// thread count.
+  int threads = 1;
 
   // ---- ablation switches ----------------------------------------------
   // Each disables one adapted heuristic, leaving the rest intact; the
@@ -68,16 +80,34 @@ class Annotator {
     return stats_;
   }
 
-  // Exposed for unit tests of the individual heuristics.
+  // Exposed for unit tests of the individual heuristics. The annotate_ir
+  // and link_vote convenience overloads evaluate against the graph's
+  // current annotations (a snapshot of them, as one sweep would see).
   void annotate_last_hops();                                     // §5
   netbase::Asn last_hop_empty_dest(const graph::IR& ir) const;   // §5.1
   netbase::Asn last_hop_with_dest(const graph::IR& ir) const;    // §5.2, Alg. 1
   netbase::Asn annotate_ir(const graph::IR& ir) const;           // §6.1, Alg. 2
   netbase::Asn link_vote(const graph::IR& ir, const graph::Link& l) const;  // Alg. 3
-  bool annotate_irs();         // one §6.1 sweep; true if any change
-  bool annotate_interfaces();  // one §6.2 sweep; true if any change
+  bool annotate_irs();         // one §6.1 Jacobi sweep; true if any change
+  bool annotate_interfaces();  // one §6.2 Jacobi sweep; true if any change
 
  private:
+  /// Alg. 2 against `ir_annot`, the immutable IR-annotation snapshot of
+  /// the previous iteration (indexed by IR id).
+  netbase::Asn annotate_ir(const graph::IR& ir,
+                           const std::vector<netbase::Asn>& ir_annot) const;
+
+  /// Alg. 3 against the same snapshot.
+  netbase::Asn link_vote(const graph::Link& l,
+                         const std::vector<netbase::Asn>& ir_annot) const;
+
+  /// §6.2 choice for one interface (reads IR annotations, which are
+  /// frozen during an interface sweep).
+  netbase::Asn interface_choice(const graph::Interface& b) const;
+
+  /// Current IR annotations as a snapshot vector.
+  std::vector<netbase::Asn> ir_annotations() const;
+
   /// Smallest customer cone, lowest ASN tiebreak.
   netbase::Asn min_cone(const std::vector<netbase::Asn>& cands) const;
 

@@ -8,7 +8,7 @@ Result Bdrmapit::run(const std::vector<tracedata::Traceroute>& corpus,
                      const tracedata::AliasSets& aliases, const bgp::Ip2AS& ip2as,
                      const asrel::RelStore& rels, AnnotatorOptions opt) {
   Result r;
-  r.graph = graph::Graph::build(corpus, aliases, ip2as, rels);
+  r.graph = graph::Graph::build(corpus, aliases, ip2as, rels, opt.threads);
   Annotator ann(r.graph, rels, opt);
   ann.run();
   r.iterations = ann.iterations();

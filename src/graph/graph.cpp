@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "parallel/thread_pool.hpp"
+
 namespace graph {
 namespace {
 
@@ -16,33 +18,94 @@ LinkLabel classify(const Interface& i, const Interface& j, int hop_distance,
   return LinkLabel::multihop;
 }
 
+constexpr std::uint8_t kSeenNonEcho = 1;
+constexpr std::uint8_t kSeenMidPath = 2;
+
+/// Pass A partial state for one corpus shard: the distinct non-private
+/// addresses in shard-local first-seen order, each with its origin
+/// lookup and observation flags.
+struct ShardIfaces {
+  std::unordered_map<netbase::IPAddr, int> index;  ///< addr -> local id
+  std::vector<netbase::IPAddr> addrs;              ///< local first-seen order
+  std::vector<bgp::Origin> origins;
+  std::vector<std::uint8_t> flags;
+};
+
+/// Pass B partial state for one corpus shard: links keyed by global
+/// (ir, iface) in shard-local first-seen order, plus the per-interface
+/// destination AS insertions, all with serial set_insert semantics.
+struct ShardLinks {
+  struct PLink {
+    int ir = -1;
+    int iface = -1;
+    LinkLabel label = LinkLabel::multihop;
+    std::vector<netbase::Asn> origin_set;
+    std::vector<netbase::Asn> dest_asns;
+    std::vector<int> prev_ifaces;  ///< deduped
+  };
+  std::unordered_map<std::uint64_t, int> index;  ///< link key -> local id
+  std::vector<PLink> links;                      ///< local first-seen order
+  std::unordered_map<int, std::vector<netbase::Asn>> iface_dest;
+  /// Memoized destination-origin lookups (§4.4): one trie walk per
+  /// distinct destination per shard instead of one per traceroute.
+  std::unordered_map<netbase::IPAddr, netbase::Asn> dst_cache;
+};
+
+inline std::uint64_t link_key(int ir, int iface) noexcept {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ir)) << 32) |
+         static_cast<std::uint32_t>(iface);
+}
+
 }  // namespace
 
 Graph Graph::build(const std::vector<tracedata::Traceroute>& corpus,
                    const tracedata::AliasSets& aliases, const bgp::Ip2AS& ip2as,
-                   const asrel::RelStore& rels) {
+                   const asrel::RelStore& rels, int threads) {
   Graph g;
+  const std::size_t n_shards = parallel::shard_count(corpus.size(), threads);
 
-  // ---- Pass A: interfaces ---------------------------------------------
-  auto intern = [&](const netbase::IPAddr& addr) -> int {
-    auto [it, inserted] = g.addr_index_.emplace(addr, static_cast<int>(g.ifaces_.size()));
-    if (inserted) {
-      Interface f;
-      f.id = it->second;
-      f.addr = addr;
-      f.origin = ip2as.lookup(addr);
-      g.ifaces_.push_back(std::move(f));
-    }
-    return it->second;
-  };
-
-  for (const auto& t : corpus) {
-    for (std::size_t k = 0; k < t.hops.size(); ++k) {
-      const auto& h = t.hops[k];
-      if (h.addr.is_private()) continue;
-      Interface& f = g.ifaces_[static_cast<std::size_t>(intern(h.addr))];
-      if (h.reply != tracedata::ReplyType::echo_reply) f.seen_non_echo = true;
-      if (k + 1 < t.hops.size()) f.seen_mid_path = true;
+  // ---- Pass A: interfaces (sharded) ------------------------------------
+  // Each shard interns the addresses of a contiguous corpus slice.
+  // Merging the shards' first-seen sequences in shard order reproduces
+  // the serial interning order exactly, so interface ids are identical
+  // for every thread count.
+  std::vector<ShardIfaces> iface_shards(n_shards);
+  parallel::parallel_shards(
+      corpus.size(), static_cast<int>(n_shards),
+      [&](std::size_t s, std::size_t lo, std::size_t hi) {
+        ShardIfaces& sh = iface_shards[s];
+        for (std::size_t ti = lo; ti < hi; ++ti) {
+          const auto& t = corpus[ti];
+          for (std::size_t k = 0; k < t.hops.size(); ++k) {
+            const auto& h = t.hops[k];
+            if (h.addr.is_private()) continue;
+            auto [it, inserted] =
+                sh.index.emplace(h.addr, static_cast<int>(sh.addrs.size()));
+            if (inserted) {
+              sh.addrs.push_back(h.addr);
+              sh.origins.push_back(ip2as.lookup(h.addr));
+              sh.flags.push_back(0);
+            }
+            std::uint8_t& fl = sh.flags[static_cast<std::size_t>(it->second)];
+            if (h.reply != tracedata::ReplyType::echo_reply) fl |= kSeenNonEcho;
+            if (k + 1 < t.hops.size()) fl |= kSeenMidPath;
+          }
+        }
+      });
+  for (const ShardIfaces& sh : iface_shards) {
+    for (std::size_t li = 0; li < sh.addrs.size(); ++li) {
+      auto [it, inserted] =
+          g.addr_index_.emplace(sh.addrs[li], static_cast<int>(g.ifaces_.size()));
+      if (inserted) {
+        Interface f;
+        f.id = it->second;
+        f.addr = sh.addrs[li];
+        f.origin = sh.origins[li];
+        g.ifaces_.push_back(std::move(f));
+      }
+      Interface& f = g.ifaces_[static_cast<std::size_t>(it->second)];
+      if (sh.flags[li] & kSeenNonEcho) f.seen_non_echo = true;
+      if (sh.flags[li] & kSeenMidPath) f.seen_mid_path = true;
     }
   }
 
@@ -70,62 +133,104 @@ Graph Graph::build(const std::vector<tracedata::Traceroute>& corpus,
   };
   for (auto& f : g.ifaces_) ir_for(f);
 
-  // ---- Pass B: links, origin AS sets, destination AS sets --------------
+  // ---- Pass B: links, origin AS sets, destination AS sets (sharded) ----
+  // Shards read the now-frozen interface table and accumulate partial
+  // link state; the merge walks shards in order with serial set_insert
+  // semantics, so link ids and every AS-set order match the serial
+  // corpus-order build exactly.
+  std::vector<ShardLinks> link_shards(n_shards);
+  parallel::parallel_shards(
+      corpus.size(), static_cast<int>(n_shards),
+      [&](std::size_t s, std::size_t lo, std::size_t hi_end) {
+        ShardLinks& sh = link_shards[s];
+        // Hoisted per-traceroute scratch: hop indices of responsive
+        // non-private hops, and their interned interface ids (one
+        // addr_index_ hash per hop, not one per use).
+        std::vector<std::size_t> idx;
+        std::vector<int> ids;
+        for (std::size_t ti = lo; ti < hi_end; ++ti) {
+          const auto& t = corpus[ti];
+          netbase::Asn dest_asn;
+          if (auto dit = sh.dst_cache.find(t.dst); dit != sh.dst_cache.end()) {
+            dest_asn = dit->second;
+          } else {
+            const bgp::Origin dst_origin = ip2as.lookup(t.dst);
+            dest_asn = dst_origin.announced() ? dst_origin.asn : netbase::kNoAs;
+            sh.dst_cache.emplace(t.dst, dest_asn);
+          }
+
+          idx.clear();
+          ids.clear();
+          for (std::size_t k = 0; k < t.hops.size(); ++k)
+            if (!t.hops[k].addr.is_private()) {
+              idx.push_back(k);
+              ids.push_back(g.addr_index_.at(t.hops[k].addr));
+            }
+          if (idx.empty()) continue;
+
+          // Interface destination AS sets (§4.4); skip the final hop
+          // when the traceroute ended in an Echo Reply.
+          if (dest_asn != netbase::kNoAs) {
+            for (std::size_t n = 0; n < idx.size(); ++n) {
+              const auto& h = t.hops[idx[n]];
+              if (n + 1 == idx.size() && h.reply == tracedata::ReplyType::echo_reply)
+                continue;
+              set_insert(sh.iface_dest[ids[n]], dest_asn);
+            }
+          }
+
+          for (std::size_t n = 0; n + 1 < idx.size(); ++n) {
+            const auto& hj = t.hops[idx[n + 1]];
+            const Interface& fi = g.ifaces_[static_cast<std::size_t>(ids[n])];
+            const Interface& fj = g.ifaces_[static_cast<std::size_t>(ids[n + 1])];
+            if (fi.ir == fj.ir) continue;  // alias-internal transition: not a link
+
+            auto [it, inserted] = sh.index.emplace(link_key(fi.ir, fj.id),
+                                                   static_cast<int>(sh.links.size()));
+            if (inserted) {
+              ShardLinks::PLink pl;
+              pl.ir = fi.ir;
+              pl.iface = fj.id;
+              sh.links.push_back(std::move(pl));
+            }
+            ShardLinks::PLink& l = sh.links[static_cast<std::size_t>(it->second)];
+            const int dist = hj.probe_ttl - t.hops[idx[n]].probe_ttl;
+            const LinkLabel label = classify(fi, fj, dist, hj.reply);
+            if (static_cast<std::uint8_t>(label) < static_cast<std::uint8_t>(l.label))
+              l.label = label;
+            if (fi.origin.announced()) set_insert(l.origin_set, fi.origin.asn);
+            if (dest_asn != netbase::kNoAs) set_insert(l.dest_asns, dest_asn);
+            if (std::find(l.prev_ifaces.begin(), l.prev_ifaces.end(), fi.id) ==
+                l.prev_ifaces.end())
+              l.prev_ifaces.push_back(fi.id);
+          }
+        }
+      });
+
   std::unordered_map<std::uint64_t, int> link_index;  // (ir, iface) -> link id
-  auto link_for = [&](int ir, int iface) -> Link& {
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ir)) << 32) |
-        static_cast<std::uint32_t>(iface);
-    auto [it, inserted] = link_index.emplace(key, static_cast<int>(g.links_.size()));
-    if (inserted) {
-      Link l;
-      l.id = it->second;
-      l.ir = ir;
-      l.iface = iface;
-      g.links_.push_back(std::move(l));
-      g.irs_[static_cast<std::size_t>(ir)].out_links.push_back(it->second);
-      g.ifaces_[static_cast<std::size_t>(iface)].in_links.push_back(it->second);
-    }
-    return g.links_[static_cast<std::size_t>(it->second)];
-  };
-
-  for (const auto& t : corpus) {
-    const bgp::Origin dst_origin = ip2as.lookup(t.dst);
-    const netbase::Asn dest_asn = dst_origin.announced() ? dst_origin.asn : netbase::kNoAs;
-
-    // Responsive, non-private hops in order.
-    std::vector<std::size_t> idx;
-    for (std::size_t k = 0; k < t.hops.size(); ++k)
-      if (!t.hops[k].addr.is_private()) idx.push_back(k);
-    if (idx.empty()) continue;
-
-    // Interface destination AS sets (§4.4); skip the final hop when the
-    // traceroute ended in an Echo Reply.
-    if (dest_asn != netbase::kNoAs) {
-      for (std::size_t n = 0; n < idx.size(); ++n) {
-        const auto& h = t.hops[idx[n]];
-        if (n + 1 == idx.size() && h.reply == tracedata::ReplyType::echo_reply)
-          continue;
-        Interface& f = g.ifaces_[static_cast<std::size_t>(g.addr_index_.at(h.addr))];
-        set_insert(f.dest_asns, dest_asn);
+  for (const ShardLinks& sh : link_shards) {
+    for (const ShardLinks::PLink& pl : sh.links) {
+      auto [it, inserted] = link_index.emplace(link_key(pl.ir, pl.iface),
+                                               static_cast<int>(g.links_.size()));
+      if (inserted) {
+        Link l;
+        l.id = it->second;
+        l.ir = pl.ir;
+        l.iface = pl.iface;
+        g.links_.push_back(std::move(l));
+        g.irs_[static_cast<std::size_t>(pl.ir)].out_links.push_back(it->second);
+        g.ifaces_[static_cast<std::size_t>(pl.iface)].in_links.push_back(it->second);
       }
+      Link& l = g.links_[static_cast<std::size_t>(it->second)];
+      if (static_cast<std::uint8_t>(pl.label) < static_cast<std::uint8_t>(l.label))
+        l.label = pl.label;
+      for (netbase::Asn o : pl.origin_set) set_insert(l.origin_set, o);
+      for (netbase::Asn d : pl.dest_asns) set_insert(l.dest_asns, d);
+      l.prev_ifaces.insert(pl.prev_ifaces.begin(), pl.prev_ifaces.end());
     }
-
-    for (std::size_t n = 0; n + 1 < idx.size(); ++n) {
-      const auto& hi = t.hops[idx[n]];
-      const auto& hj = t.hops[idx[n + 1]];
-      Interface& fi = g.ifaces_[static_cast<std::size_t>(g.addr_index_.at(hi.addr))];
-      Interface& fj = g.ifaces_[static_cast<std::size_t>(g.addr_index_.at(hj.addr))];
-      if (fi.ir == fj.ir) continue;  // alias-internal transition: not a link
-
-      Link& l = link_for(fi.ir, fj.id);
-      const int dist = hj.probe_ttl - hi.probe_ttl;
-      const LinkLabel label = classify(fi, fj, dist, hj.reply);
-      if (static_cast<std::uint8_t>(label) < static_cast<std::uint8_t>(l.label))
-        l.label = label;
-      if (fi.origin.announced()) set_insert(l.origin_set, fi.origin.asn);
-      if (dest_asn != netbase::kNoAs) set_insert(l.dest_asns, dest_asn);
-      l.prev_ifaces.insert(fi.id);
+    for (const auto& [fid, dests] : sh.iface_dest) {
+      Interface& f = g.ifaces_[static_cast<std::size_t>(fid)];
+      for (netbase::Asn d : dests) set_insert(f.dest_asns, d);
     }
   }
 

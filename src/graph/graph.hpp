@@ -92,9 +92,15 @@ class Graph {
  public:
   /// Builds the annotated IR graph. `rels` feeds the §4.4 reallocated-
   /// prefix correction (customer-cone sizes); pass a finalized store.
+  ///
+  /// `threads` bounds the executors used for the two corpus passes
+  /// (<= 0 means hardware concurrency). The corpus is sharded and the
+  /// per-shard partial graphs merged in shard order, which reproduces
+  /// the serial first-seen interning order exactly: the result is
+  /// identical — same ids, same set orders — for every thread count.
   static Graph build(const std::vector<tracedata::Traceroute>& corpus,
                      const tracedata::AliasSets& aliases, const bgp::Ip2AS& ip2as,
-                     const asrel::RelStore& rels);
+                     const asrel::RelStore& rels, int threads = 1);
 
   std::vector<Interface>& interfaces() noexcept { return ifaces_; }
   const std::vector<Interface>& interfaces() const noexcept { return ifaces_; }

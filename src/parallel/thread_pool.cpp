@@ -1,0 +1,106 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace parallel {
+
+unsigned hardware_threads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+unsigned resolve_threads(int requested) noexcept {
+  if (requested <= 0) return hardware_threads();
+  return static_cast<unsigned>(requested);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::ensure_workers_locked(unsigned n) {
+  // Worker counts are bounded: a request for more executors than cores
+  // still works (the OS time-slices), but an absurd --threads value must
+  // not spawn thousands of threads.
+  n = std::min(n, 256u);
+  while (workers_.size() < n) workers_.emplace_back([this] { worker_loop(); });
+}
+
+void ThreadPool::run(std::size_t tasks, unsigned threads,
+                     const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  if (threads <= 1 || tasks == 1) {
+    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> job_lock(job_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ensure_workers_locked(threads - 1);
+    job_ = &fn;
+    job_tasks_ = tasks;
+    next_task_ = 0;
+    unfinished_ = tasks;
+    error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  work_on_job();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  job_ = nullptr;
+  if (error_) {
+    std::exception_ptr e = error_;
+    error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void ThreadPool::work_on_job() {
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t i = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job_ == nullptr || next_task_ >= job_tasks_) return;
+      fn = job_;
+      i = next_task_++;
+    }
+    try {
+      (*fn)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--unfinished_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ ||
+               (generation_ != seen && job_ != nullptr && next_task_ < job_tasks_);
+      });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    work_on_job();
+  }
+}
+
+}  // namespace parallel

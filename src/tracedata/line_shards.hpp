@@ -1,0 +1,53 @@
+// tracedata/line_shards.hpp — shared scaffolding for threaded ingest.
+//
+// Both corpus readers (native text and scamper JSON) are line-oriented
+// with independent lines, so threaded ingest is the same shape for
+// each: slurp the lines, parse contiguous line shards concurrently,
+// and concatenate the shard outputs in shard order — which reproduces
+// the serial reader's output exactly, whatever the thread count.
+// Internal to tracedata; not part of the public ingest API.
+
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "tracedata/traceroute.hpp"
+
+namespace tracedata::detail {
+
+/// Reads every line of `in`, then runs `per_line(line, traces, bad)`
+/// over line shards with up to `threads` executors. Shard outputs are
+/// concatenated in input order.
+template <typename PerLine>
+std::vector<Traceroute> parse_lines_sharded(std::istream& in,
+                                            std::size_t* malformed, int threads,
+                                            PerLine&& per_line) {
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(std::move(line));
+
+  struct ShardOut {
+    std::vector<Traceroute> traces;
+    std::size_t bad = 0;
+  };
+  ShardOut all = parallel::parallel_reduce(
+      lines.size(), threads, ShardOut{},
+      [&](ShardOut& acc, std::size_t i) {
+        per_line(lines[i], acc.traces, acc.bad);
+      },
+      [](ShardOut& total, ShardOut& s) {
+        total.traces.insert(total.traces.end(),
+                            std::make_move_iterator(s.traces.begin()),
+                            std::make_move_iterator(s.traces.end()));
+        total.bad += s.bad;
+      });
+  if (malformed) *malformed = all.bad;
+  return std::move(all.traces);
+}
+
+}  // namespace tracedata::detail

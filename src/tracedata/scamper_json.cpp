@@ -1,6 +1,8 @@
 #include "tracedata/scamper_json.hpp"
 
 #include <algorithm>
+
+#include "tracedata/line_shards.hpp"
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
@@ -364,19 +366,23 @@ std::optional<Traceroute> trace_from_json(std::string_view line, std::string* er
 
 std::vector<Traceroute> read_json_traceroutes(std::istream& in,
                                               std::size_t* malformed) {
-  std::vector<Traceroute> out;
-  std::size_t bad = 0;
-  std::string line, error;
-  while (std::getline(in, line)) {
-    error.clear();
-    auto t = trace_from_json(line, &error);
-    if (t)
-      out.push_back(std::move(*t));
-    else if (!error.empty())
-      ++bad;
-  }
-  if (malformed) *malformed = bad;
-  return out;
+  return read_json_traceroutes(in, malformed, 1);
+}
+
+std::vector<Traceroute> read_json_traceroutes(std::istream& in,
+                                              std::size_t* malformed,
+                                              int threads) {
+  return detail::parse_lines_sharded(
+      in, malformed, threads,
+      [](const std::string& line, std::vector<Traceroute>& traces,
+         std::size_t& bad) {
+        std::string error;
+        auto t = trace_from_json(line, &error);
+        if (t)
+          traces.push_back(std::move(*t));
+        else if (!error.empty())
+          ++bad;
+      });
 }
 
 void write_json_traceroutes(std::ostream& out, const std::vector<Traceroute>& traces) {

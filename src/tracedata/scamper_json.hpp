@@ -40,6 +40,14 @@ std::optional<Traceroute> trace_from_json(std::string_view line,
 std::vector<Traceroute> read_json_traceroutes(std::istream& in,
                                               std::size_t* malformed = nullptr);
 
+/// Threaded variant: lines are parsed in contiguous shards by up to
+/// `threads` executors (<= 0 means hardware concurrency) and merged in
+/// input order, so the result is identical to the serial reader for
+/// any thread count.
+std::vector<Traceroute> read_json_traceroutes(std::istream& in,
+                                              std::size_t* malformed,
+                                              int threads);
+
 /// Writes a corpus in the same JSON schema (one object per line).
 void write_json_traceroutes(std::ostream& out, const std::vector<Traceroute>& traces);
 

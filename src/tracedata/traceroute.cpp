@@ -4,6 +4,8 @@
 #include <istream>
 #include <ostream>
 
+#include "tracedata/line_shards.hpp"
+
 namespace tracedata {
 namespace {
 
@@ -96,19 +98,22 @@ void write_traceroutes(std::ostream& out, const std::vector<Traceroute>& traces)
 }
 
 std::vector<Traceroute> read_traceroutes(std::istream& in, std::size_t* malformed) {
-  std::vector<Traceroute> out;
-  std::size_t bad = 0;
-  std::string line;
-  while (std::getline(in, line)) {
-    std::string_view s = line;
-    if (s.empty() || s.front() == '#') continue;
-    if (auto t = from_line(s))
-      out.push_back(std::move(*t));
-    else
-      ++bad;
-  }
-  if (malformed) *malformed = bad;
-  return out;
+  return read_traceroutes(in, malformed, 1);
+}
+
+std::vector<Traceroute> read_traceroutes(std::istream& in, std::size_t* malformed,
+                                         int threads) {
+  return detail::parse_lines_sharded(
+      in, malformed, threads,
+      [](const std::string& line, std::vector<Traceroute>& traces,
+         std::size_t& bad) {
+        std::string_view s = line;
+        if (s.empty() || s.front() == '#') return;
+        if (auto t = from_line(s))
+          traces.push_back(std::move(*t));
+        else
+          ++bad;
+      });
 }
 
 }  // namespace tracedata

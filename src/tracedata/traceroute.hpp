@@ -75,4 +75,10 @@ void write_traceroutes(std::ostream& out, const std::vector<Traceroute>& traces)
 std::vector<Traceroute> read_traceroutes(std::istream& in,
                                          std::size_t* malformed = nullptr);
 
+/// Threaded variant: lines parsed in contiguous shards by up to
+/// `threads` executors (<= 0 means hardware concurrency), merged in
+/// input order — identical output to the serial reader.
+std::vector<Traceroute> read_traceroutes(std::istream& in, std::size_t* malformed,
+                                         int threads);
+
 }  // namespace tracedata

@@ -98,6 +98,46 @@ if(rc EQUAL 0)
   message(FATAL_ERROR "bdrmapit_serve accepted a non-snapshot file")
 endif()
 
+# ---- threaded run: byte-identical outputs for any thread count --------
+# The first run used the CLI default (hardware concurrency); pin 1 and
+# 4 explicitly and require identical TSV and snapshot bytes.
+foreach(nthreads 1 4)
+  run(${CLI}
+      --traces ${OUT}/data/traces.txt
+      --rib ${OUT}/data/rib.txt
+      --rels ${OUT}/data/rels.txt
+      --delegations ${OUT}/data/delegations.txt
+      --ixp ${OUT}/data/ixp.txt
+      --aliases ${OUT}/data/aliases.nodes
+      --threads ${nthreads}
+      --output ${OUT}/annotations_t${nthreads}.tsv
+      --snapshot-out ${OUT}/map_t${nthreads}.snap)
+  foreach(pair "annotations_t${nthreads}.tsv;annotations.tsv" "map_t${nthreads}.snap;map.snap")
+    list(GET pair 0 got)
+    list(GET pair 1 want)
+    execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                    ${OUT}/${got} ${OUT}/${want}
+                    RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "--threads ${nthreads} output ${got} differs from ${want}")
+    endif()
+  endforeach()
+endforeach()
+
+# Invalid --threads values must be rejected up front.
+foreach(bad 0 -2 four "")
+  execute_process(COMMAND ${CLI}
+                  --traces ${OUT}/data/traces.txt
+                  --rib ${OUT}/data/rib.txt
+                  --rels ${OUT}/data/rels.txt
+                  --threads "${bad}"
+                  OUTPUT_QUIET ERROR_QUIET
+                  RESULT_VARIABLE rc)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "bdrmapit_cli accepted --threads '${bad}'")
+  endif()
+endforeach()
+
 # An ablation switch must also run cleanly.
 run(${CLI}
     --traces ${OUT}/data/traces.txt
