@@ -38,6 +38,7 @@
 #include <string>
 
 #include "asrel/serial1.hpp"
+#include "audit/invariants.hpp"
 #include "core/bdrmapit.hpp"
 #include "core/itdk.hpp"
 #include "serve/snapshot.hpp"
@@ -50,7 +51,7 @@ void usage(const char* argv0) {
                "usage: %s --traces FILE --rib FILE --rels FILE\n"
                "          [--delegations FILE] [--ixp FILE] [--aliases FILE]\n"
                "          [--output FILE] [--as-links FILE] [--snapshot-out FILE]\n"
-               "          [--max-iterations N] [--threads N]\n"
+               "          [--max-iterations N] [--threads N] [--audit]\n"
                "          [--no-last-hop-dest] [--no-third-party] "
                "[--no-reallocated]\n"
                "          [--no-exceptions] [--no-hidden-as] "
@@ -72,9 +73,18 @@ std::ifstream open_or_die(const std::string& path) {
 int main(int argc, char** argv) {
   std::map<std::string, std::string> args;
   core::AnnotatorOptions opt;
+  // Debug and sanitizer builds audit every run; release builds opt in
+  // with --audit.
+#ifdef BDRMAPIT_AUDIT_DEFAULT
+  bool run_audit = true;
+#else
+  bool run_audit = false;
+#endif
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--no-last-hop-dest") {
+    if (a == "--audit") {
+      run_audit = true;
+    } else if (a == "--no-last-hop-dest") {
       opt.use_last_hop_dest = false;
     } else if (a == "--no-third-party") {
       opt.use_third_party = false;
@@ -192,7 +202,10 @@ int main(int argc, char** argv) {
                aliases.size(), rels.p2c_edges(), rels.p2p_edges());
 
   // ---- run --------------------------------------------------------------
-  const core::Result result = core::Bdrmapit::run(corpus, aliases, ip2as, rels, opt);
+  std::vector<std::pair<audit::Stage, audit::Violation>> violations;
+  const core::Result result =
+      run_audit ? audit::audited_run(corpus, aliases, ip2as, rels, opt, &violations)
+                : core::Bdrmapit::run(corpus, aliases, ip2as, rels, opt);
   std::fprintf(stderr, "annotated %zu interfaces in %d refinement iterations\n",
                result.interfaces.size(), result.iterations);
 
@@ -222,9 +235,12 @@ int main(int argc, char** argv) {
     for (const auto& [a, b] : result.as_links()) out << a << '\t' << b << '\n';
   }
   if (args.contains("snapshot-out")) {
+    const serve::Snapshot snap = serve::snapshot_from_result(result);
+    if (run_audit)
+      for (const auto& v : audit::audit_snapshot(snap))
+        violations.emplace_back(audit::Stage::refined, v);
     std::string error;
-    if (!serve::write_snapshot_file(args["snapshot-out"],
-                                    serve::snapshot_from_result(result), &error)) {
+    if (!serve::write_snapshot_file(args["snapshot-out"], snap, &error)) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
       return 1;
     }
@@ -239,6 +255,16 @@ int main(int argc, char** argv) {
       std::ofstream out(args["itdk"] + ".nodes.as");
       core::write_itdk_nodes_as(out, nodes);
     }
+  }
+  if (run_audit) {
+    for (const auto& [stage, v] : violations)
+      std::fprintf(stderr, "audit violation [%s] %s: %s\n",
+                   audit::stage_name(stage), v.check.c_str(), v.detail.c_str());
+    if (!violations.empty()) {
+      std::fprintf(stderr, "audit: %zu invariant violations\n", violations.size());
+      return 2;
+    }
+    std::fprintf(stderr, "audit: all pipeline invariants hold\n");
   }
   return 0;
 }

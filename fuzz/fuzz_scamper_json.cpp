@@ -1,0 +1,34 @@
+// Fuzz target: the scamper JSON traceroute parser.
+//
+// Feeds arbitrary bytes to tracedata::trace_from_json and, when a
+// trace is accepted, checks the native-format round-trip invariant:
+// serialising the accepted trace and re-parsing it must reproduce it
+// exactly. Found here and fixed: unbounded recursion on deeply nested
+// values, and undefined double->int casts of huge icmp_type fields
+// (both pinned in tests/scamper_json_test.cpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "tracedata/scamper_json.hpp"
+#include "tracedata/traceroute.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+
+  if (auto t = tracedata::trace_from_json(input)) {
+    const auto again = tracedata::from_line(tracedata::to_line(*t));
+    if (!again || !(*again == *t)) __builtin_trap();
+  }
+
+  // The streaming reader must agree with the line parser and never
+  // crash regardless of how lines are split.
+  std::istringstream in(input);
+  std::size_t bad = 0;
+  const auto traces = tracedata::read_json_traceroutes(in, &bad, 1);
+  if (traces.size() > size + 1) __builtin_trap();  // bounded by input lines
+  return 0;
+}

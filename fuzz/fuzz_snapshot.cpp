@@ -1,0 +1,39 @@
+// Fuzz target: the CRC-checked binary snapshot loader.
+//
+// The loader promises to reject (never crash on) arbitrary bytes:
+// truncated headers, corrupt lengths, implausible section counts, bad
+// address tags, trailing garbage. When a buffer is accepted, writing
+// the decoded snapshot back out and re-loading it must produce the
+// same sections — the round-trip invariant the serve layer relies on.
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "serve/snapshot.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  std::istringstream in(bytes, std::ios::binary);
+  serve::Snapshot snap;
+  std::string error;
+  if (!serve::load_snapshot(in, &snap, &error)) {
+    if (error.empty()) __builtin_trap();  // rejections must be diagnosed
+    return 0;
+  }
+
+  std::ostringstream out(std::ios::binary);
+  serve::write_snapshot(out, snap);
+  std::istringstream in2(out.str(), std::ios::binary);
+  serve::Snapshot snap2;
+  if (!serve::load_snapshot(in2, &snap2, &error)) __builtin_trap();
+  if (snap2.iterations != snap.iterations ||
+      snap2.router_count != snap.router_count ||
+      snap2.interfaces.size() != snap.interfaces.size() ||
+      snap2.as_links != snap.as_links ||
+      snap2.iteration_stats.size() != snap.iteration_stats.size())
+    __builtin_trap();
+  return 0;
+}

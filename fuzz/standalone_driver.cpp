@@ -1,0 +1,54 @@
+// Standalone replacement for libFuzzer's driver, used when the
+// toolchain has no -fsanitize=fuzzer (e.g. GCC builds). Replays every
+// file and directory named on the command line through
+// LLVMFuzzerTestOneInput once, so the seed corpus doubles as a ctest
+// regression suite. libFuzzer-style '-flag' arguments are ignored.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int run_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", path.string().c_str());
+    return 1;
+  }
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.empty() || arg.front() == '-') continue;  // libFuzzer flags
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) inputs.push_back(entry.path());
+      }
+    } else {
+      inputs.emplace_back(arg);
+    }
+  }
+  std::sort(inputs.begin(), inputs.end());
+  int rc = 0;
+  for (const auto& path : inputs) rc |= run_file(path);
+  std::fprintf(stderr, "replayed %zu corpus inputs\n", inputs.size());
+  return rc;
+}

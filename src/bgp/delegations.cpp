@@ -68,10 +68,10 @@ bool parse_delegation_line(std::string_view line, std::vector<Delegation>& out) 
   if (type == "ipv4") {
     if (!addr->is_v4()) return false;
     for (const auto& prefix : v4_range_to_prefixes(*addr, value))
-      out.push_back({prefix, *asn});
+      out.emplace_back(prefix, *asn);
   } else {
     if (!addr->is_v6() || value > 128) return false;
-    out.push_back({netbase::Prefix(*addr, static_cast<int>(value)), *asn});
+    out.emplace_back(netbase::Prefix(*addr, static_cast<int>(value)), *asn);
   }
   return true;
 }

@@ -256,7 +256,7 @@ netbase::Asn Annotator::annotate_ir(const graph::IR& ir,
     if (a == kNoAs) continue;
     ++V[a];
     for (Asn o : l.origin_set) graph::set_insert(M[a], o);
-    link_votes.push_back({&l, a});
+    link_votes.emplace_back(&l, a);
   }
 
   // §6.1.2: reallocated prefixes. Among subsequent interfaces whose
@@ -550,7 +550,7 @@ void Annotator::run() {
   iterations_ = 0;
   stats_.clear();
   while (iterations_ < opt_.max_iterations) {
-    stats_.push_back({});
+    stats_.emplace_back();
     const bool ch_ir = annotate_irs();
     const bool ch_if = annotate_interfaces();
     ++iterations_;

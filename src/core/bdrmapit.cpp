@@ -1,14 +1,21 @@
 #include "core/bdrmapit.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace core {
 
 Result Bdrmapit::run(const std::vector<tracedata::Traceroute>& corpus,
                      const tracedata::AliasSets& aliases, const bgp::Ip2AS& ip2as,
                      const asrel::RelStore& rels, AnnotatorOptions opt) {
+  return annotate_and_package(
+      graph::Graph::build(corpus, aliases, ip2as, rels, opt.threads), rels, opt);
+}
+
+Result Bdrmapit::annotate_and_package(graph::Graph graph, const asrel::RelStore& rels,
+                                      AnnotatorOptions opt) {
   Result r;
-  r.graph = graph::Graph::build(corpus, aliases, ip2as, rels, opt.threads);
+  r.graph = std::move(graph);
   Annotator ann(r.graph, rels, opt);
   ann.run();
   r.iterations = ann.iterations();

@@ -62,6 +62,13 @@ class Bdrmapit {
   static Result run(const std::vector<tracedata::Traceroute>& corpus,
                     const tracedata::AliasSets& aliases, const bgp::Ip2AS& ip2as,
                     const asrel::RelStore& rels, AnnotatorOptions opt = {});
+
+  /// Phases 2+3 over an already-built graph, packaged into a Result.
+  /// `run` is `Graph::build` followed by this; callers that need to
+  /// inspect (or audit) the graph between the stages use the two steps
+  /// directly.
+  static Result annotate_and_package(graph::Graph graph, const asrel::RelStore& rels,
+                                     AnnotatorOptions opt = {});
 };
 
 }  // namespace core

@@ -194,7 +194,8 @@ class Generator {
     int best_transit = -1, best_re1 = -1, best_re2 = -1;
     std::size_t bt = 0, br1 = 0, br2 = 0;
     for (const auto& as : net_.ases_) {
-      const std::size_t c = stub_customers.count(as.idx) ? stub_customers[as.idx] : 0;
+      const auto sc = stub_customers.find(as.idx);
+      const std::size_t c = sc != stub_customers.end() ? sc->second : 0;
       if (as.tier == AsTier::transit && (best_transit < 0 || c > bt)) {
         best_transit = as.idx;
         bt = c;
@@ -846,10 +847,10 @@ bgp::Rib Internet::rib() const {
 std::vector<bgp::Delegation> Internet::delegations() const {
   std::vector<bgp::Delegation> out;
   for (const auto& as : ases_) {
-    out.push_back({as.block, as.asn});
-    if (params_.dual_stack) out.push_back({as.block6, as.asn});
+    out.emplace_back(as.block, as.asn);
+    if (params_.dual_stack) out.emplace_back(as.block6, as.asn);
     if (as.has_infra_block && as.infra_block_delegated)
-      out.push_back({as.infra_block, as.asn});
+      out.emplace_back(as.infra_block, as.asn);
     // Dark infra blocks appear in no registry at all.
   }
   return out;

@@ -244,12 +244,12 @@ tracedata::Traceroute Tracer::trace(const VantagePoint& vp, const netbase::IPAdd
     if (is_echo_target) {
       // Echo Reply: source address is the probed address itself.
       if (!r.silent)
-        out.hops.push_back({dst, ttl, tracedata::ReplyType::echo_reply});
+        out.hops.emplace_back(dst, ttl, tracedata::ReplyType::echo_reply);
       return out;
     }
     if (r.silent || rate_limited(r.id)) continue;
-    out.hops.push_back({reply_addr(r, path[i].second, vp, v6), ttl,
-                        tracedata::ReplyType::time_exceeded});
+    out.hops.emplace_back(reply_addr(r, path[i].second, vp, v6), ttl,
+                          tracedata::ReplyType::time_exceeded);
   }
 
   if (allow_final_reply && echo_iface < 0) {
@@ -260,7 +260,7 @@ tracedata::Traceroute Tracer::trace(const VantagePoint& vp, const netbase::IPAdd
     const std::uint64_t roll = mix64(dst.hash() ^ 0xB0A7) % 1000;
     const std::uint8_t ttl = static_cast<std::uint8_t>(path.size() + 1);
     if (roll < static_cast<std::uint64_t>(net_.params().host_reply_prob * 1000.0)) {
-      out.hops.push_back({dst, ttl, tracedata::ReplyType::echo_reply});
+      out.hops.emplace_back(dst, ttl, tracedata::ReplyType::echo_reply);
     } else if (!path.empty() &&
                roll < static_cast<std::uint64_t>(
                           (net_.params().host_reply_prob +
@@ -268,8 +268,8 @@ tracedata::Traceroute Tracer::trace(const VantagePoint& vp, const netbase::IPAdd
                           1000.0)) {
       const Router& last = net_.routers()[static_cast<std::size_t>(path.back().first)];
       if (!last.silent)
-        out.hops.push_back({reply_addr(last, path.back().second, vp, v6), ttl,
-                            tracedata::ReplyType::dest_unreachable});
+        out.hops.emplace_back(reply_addr(last, path.back().second, vp, v6), ttl,
+                              tracedata::ReplyType::dest_unreachable);
     }
   }
   return out;

@@ -84,6 +84,12 @@ class Parser {
       fail("unexpected end of input");
       return std::nullopt;
     }
+    // Bound the recursion: a hostile line of "[[[[..." otherwise grows
+    // the call stack linearly with input size until it overflows.
+    if (depth_ >= kMaxDepth) {
+      fail("nesting too deep");
+      return std::nullopt;
+    }
     switch (s_[pos_]) {
       case '{': return object();
       case '[': return array();
@@ -113,6 +119,7 @@ class Parser {
   }
 
   std::optional<JsonValue> object() {
+    const DepthGuard guard(depth_);
     JsonValue v;
     v.kind = JsonValue::Kind::object;
     ++pos_;  // '{'
@@ -140,6 +147,7 @@ class Parser {
   }
 
   std::optional<JsonValue> array() {
+    const DepthGuard guard(depth_);
     JsonValue v;
     v.kind = JsonValue::Kind::array;
     ++pos_;  // '['
@@ -253,8 +261,21 @@ class Parser {
     return v;
   }
 
+  /// Containers deeper than this are rejected. Scamper output nests
+  /// three levels; 64 leaves generous slack without risking the stack.
+  static constexpr std::size_t kMaxDepth = 64;
+
+  struct DepthGuard {
+    std::size_t& depth;
+    explicit DepthGuard(std::size_t& d) noexcept : depth(++d) {}
+    ~DepthGuard() { --depth; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+  };
+
   std::string_view s_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
   std::string error_;
 };
 
@@ -342,6 +363,9 @@ std::optional<Traceroute> trace_from_json(std::string_view line, std::string* er
       ReplyType reply = ReplyType::time_exceeded;
       if (const JsonValue* it = h.get("icmp_type");
           it && it->kind == JsonValue::Kind::number) {
+        // ICMP types live in [0, 255]; anything outside is unusable, and
+        // casting an out-of-range double (e.g. 1e300) to int is UB.
+        if (!(it->num >= 0 && it->num <= 255)) continue;
         auto r = reply_from_icmp(static_cast<int>(it->num), a->is_v6());
         if (!r) continue;  // unknown reply class: not usable, skip hop
         reply = *r;

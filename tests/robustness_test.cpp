@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -13,6 +14,7 @@
 #include "netbase/ip_addr.hpp"
 #include "netbase/prefix.hpp"
 #include "netbase/rng.hpp"
+#include "serve/snapshot.hpp"
 #include "tracedata/alias.hpp"
 #include "tracedata/scamper_json.hpp"
 #include "tracedata/traceroute.hpp"
@@ -157,3 +159,206 @@ TEST_P(FuzzSeeds, AliasNodesParser) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Values(101, 202, 303, 404));
+
+// ---------------------------------------------------------------------
+// Snapshot loader corruption matrix. The loader must reject — never
+// crash on — truncation at any byte, oversized section counts, bad
+// address tags, and trailing garbage, including mutations whose CRC
+// has been repaired so they reach the payload parser.
+// ---------------------------------------------------------------------
+
+namespace {
+
+constexpr std::size_t kSnapHeader = 20;  // magic, version, size, crc
+
+// A snapshot with known section offsets: two iteration stats, two v4
+// interface records, one AS link.
+serve::Snapshot sample_snapshot() {
+  serve::Snapshot snap;
+  snap.iterations = 2;
+  snap.iteration_stats.resize(2);
+  snap.iteration_stats[0].changed_irs = 3;
+  snap.iteration_stats[0].changed_ifaces = 5;
+  snap.iteration_stats[1].changed_irs = 0;
+  snap.iteration_stats[1].changed_ifaces = 0;
+  snap.router_count = 2;
+  for (int i = 0; i < 2; ++i) {
+    serve::SnapshotIface rec;
+    rec.addr = netbase::IPAddr::must_parse("203.0.113." + std::to_string(i + 1));
+    rec.router_id = static_cast<std::uint32_t>(i);
+    rec.inf.router_as = 64496;
+    rec.inf.conn_as = 64497;
+    snap.interfaces.push_back(rec);
+  }
+  snap.as_links.emplace_back(64496, 64497);
+  return snap;
+}
+
+std::string snapshot_bytes(const serve::Snapshot& snap) {
+  std::ostringstream out(std::ios::binary);
+  serve::write_snapshot(out, snap);
+  return out.str();
+}
+
+// File-offset of each section's count field for sample_snapshot():
+//   payload: u32 iterations | u64 n_stats | 2*16 stat bytes
+//          | u64 router_count | u64 n_ifaces | 2*18 iface bytes
+//          | u64 n_links | 8 link bytes
+constexpr std::size_t kOffStatCount = kSnapHeader + 4;
+constexpr std::size_t kOffIfaceCount = kOffStatCount + 8 + 2 * 16 + 8;
+constexpr std::size_t kOffFirstIface = kOffIfaceCount + 8;
+constexpr std::size_t kOffLinkCount = kOffFirstIface + 2 * 18;
+
+void patch_u64(std::string& bytes, std::size_t off, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    bytes[off + static_cast<std::size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFF);
+}
+
+// After any payload edit the header must be made honest again so the
+// mutation reaches the payload parser instead of the CRC check.
+void repair_header(std::string& bytes) {
+  const std::size_t payload = bytes.size() - kSnapHeader;
+  patch_u64(bytes, 8, payload);
+  const std::uint32_t crc = serve::crc32(bytes.data() + kSnapHeader, payload);
+  for (int i = 0; i < 4; ++i)
+    bytes[16 + static_cast<std::size_t>(i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xFF);
+}
+
+// Loads from bytes; returns false and a diagnostic on rejection.
+bool try_load(const std::string& bytes, std::string* error) {
+  std::istringstream in(bytes, std::ios::binary);
+  serve::Snapshot out;
+  return serve::load_snapshot(in, &out, error);
+}
+
+}  // namespace
+
+TEST(SnapshotRobustness, SampleRoundTrips) {
+  const std::string bytes = snapshot_bytes(sample_snapshot());
+  ASSERT_EQ(bytes.size(), kOffLinkCount - kSnapHeader + 8 + 8 + kSnapHeader);
+  std::string error;
+  EXPECT_TRUE(try_load(bytes, &error)) << error;
+}
+
+TEST(SnapshotRobustness, TruncatedHeaderAtEveryLength) {
+  const std::string bytes = snapshot_bytes(sample_snapshot());
+  for (std::size_t len = 0; len < kSnapHeader; ++len) {
+    std::string error;
+    EXPECT_FALSE(try_load(bytes.substr(0, len), &error)) << "len=" << len;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(SnapshotRobustness, TruncatedPayloadAtEveryLength) {
+  const std::string bytes = snapshot_bytes(sample_snapshot());
+  for (std::size_t len = kSnapHeader; len < bytes.size(); ++len) {
+    std::string error;
+    EXPECT_FALSE(try_load(bytes.substr(0, len), &error)) << "len=" << len;
+  }
+}
+
+TEST(SnapshotRobustness, TruncationReachingParserIsStillRejected) {
+  // Truncate AND repair the header: the parser itself, not the size
+  // check, must catch the short section.
+  const std::string bytes = snapshot_bytes(sample_snapshot());
+  for (std::size_t len = kSnapHeader; len < bytes.size(); ++len) {
+    std::string cut = bytes.substr(0, len);
+    repair_header(cut);
+    std::string error;
+    EXPECT_FALSE(try_load(cut, &error)) << "len=" << len;
+  }
+}
+
+TEST(SnapshotRobustness, OversizedSectionCountsAreRejected) {
+  for (const std::size_t off : {kOffStatCount, kOffIfaceCount, kOffLinkCount}) {
+    for (const std::uint64_t huge :
+         {std::uint64_t{1} << 62, std::uint64_t{0xFFFFFFFFFFFFFFFF},
+          std::uint64_t{1000000}}) {
+      std::string bytes = snapshot_bytes(sample_snapshot());
+      patch_u64(bytes, off, huge);
+      repair_header(bytes);
+      std::string error;
+      EXPECT_FALSE(try_load(bytes, &error)) << "off=" << off << " n=" << huge;
+      EXPECT_NE(error.find("implausible"), std::string::npos) << error;
+    }
+  }
+}
+
+TEST(SnapshotRobustness, ZeroLengthRecordTagIsRejected) {
+  // Address tag 0 makes the record effectively zero-length garbage; the
+  // reader must refuse rather than misalign the rest of the table.
+  std::string bytes = snapshot_bytes(sample_snapshot());
+  bytes[kOffFirstIface] = 0;
+  repair_header(bytes);
+  std::string error;
+  EXPECT_FALSE(try_load(bytes, &error));
+  EXPECT_NE(error.find("interface table"), std::string::npos) << error;
+}
+
+TEST(SnapshotRobustness, TrailingBytesAreRejected) {
+  {
+    // Raw trailing junk: header size no longer matches the file.
+    std::string bytes = snapshot_bytes(sample_snapshot()) + "junk";
+    std::string error;
+    EXPECT_FALSE(try_load(bytes, &error));
+    EXPECT_NE(error.find("size mismatch"), std::string::npos) << error;
+  }
+  {
+    // Trailing junk blessed by a repaired header: the payload parser
+    // must still notice the leftover bytes.
+    std::string bytes = snapshot_bytes(sample_snapshot()) + "junk";
+    repair_header(bytes);
+    std::string error;
+    EXPECT_FALSE(try_load(bytes, &error));
+    EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+  }
+}
+
+TEST(SnapshotRobustness, EverySingleByteFlipIsDetected) {
+  const std::string bytes = snapshot_bytes(sample_snapshot());
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    std::string mutated = bytes;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x5A);
+    std::string error;
+    EXPECT_FALSE(try_load(mutated, &error)) << "pos=" << pos;
+  }
+}
+
+TEST_P(FuzzSeeds, SnapshotCrcRepairedMutationsNeverCrash) {
+  netbase::SplitMix64 rng(GetParam() ^ 8);
+  const std::string base = snapshot_bytes(sample_snapshot());
+  for (int i = 0; i < 300; ++i) {
+    std::string bytes = base;
+    const std::size_t edits = 1 + rng.below(8);
+    for (std::size_t e = 0; e < edits; ++e) {
+      const std::size_t pos = kSnapHeader + rng.below(bytes.size() - kSnapHeader);
+      bytes[pos] = static_cast<char>(rng.below(256));
+    }
+    repair_header(bytes);
+    std::string error;
+    serve::Snapshot out;
+    std::istringstream in(bytes, std::ios::binary);
+    if (serve::load_snapshot(in, &out, &error)) {
+      // Whatever was accepted is structurally bounded.
+      EXPECT_LE(out.interfaces.size(), bytes.size());
+      EXPECT_LE(out.as_links.size(), bytes.size());
+    } else {
+      EXPECT_FALSE(error.empty());
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, SnapshotGarbageNeverCrashes) {
+  netbase::SplitMix64 rng(GetParam() ^ 9);
+  for (int i = 0; i < 500; ++i) {
+    std::string bytes = "BMIS";  // half the time, a plausible magic
+    if (rng.chance(0.5)) bytes.clear();
+    const std::size_t len = rng.below(256);
+    for (std::size_t b = 0; b < len; ++b)
+      bytes += static_cast<char>(rng.below(256));
+    std::string error;
+    try_load(bytes, &error);  // must simply not crash
+  }
+}

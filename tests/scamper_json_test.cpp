@@ -151,3 +151,36 @@ TEST(ScamperJson, EquivalentToNativeFormat) {
   ASSERT_TRUE(json.has_value());
   EXPECT_EQ(*native, *json);
 }
+
+TEST(ScamperJson, RejectsDeepNestingWithoutOverflow) {
+  // Regression: the recursive-descent parser used to recurse once per
+  // nesting level with no bound, so a hostile line of brackets could
+  // overflow the stack. Deep nesting must now fail cleanly.
+  std::string deep = R"({"type":"trace","dst":"9.9.9.9","x":)";
+  deep.append(100000, '[');
+  deep.append(100000, ']');
+  deep += '}';
+  std::string error;
+  const auto t = tracedata::trace_from_json(deep, &error);
+  EXPECT_FALSE(t.has_value());
+  EXPECT_EQ(error, "nesting too deep");
+
+  // Scamper-realistic nesting depths stay accepted.
+  const auto ok = tracedata::trace_from_json(
+      R"({"type":"trace","dst":"9.9.9.9","meta":[[[[[{"a":[1]}]]]]],"hops":[]})");
+  EXPECT_TRUE(ok.has_value());
+}
+
+TEST(ScamperJson, HugeIcmpTypeIsSkippedNotUndefined) {
+  // Regression: icmp_type was cast to int before any range check, which
+  // is undefined behaviour for doubles outside the int range (1e300).
+  // Out-of-range types now drop the hop like any unknown reply class.
+  const auto t = tracedata::trace_from_json(
+      R"({"type":"trace","dst":"9.9.9.9","hops":[)"
+      R"({"addr":"1.1.1.1","probe_ttl":1,"icmp_type":1e300},)"
+      R"({"addr":"2.2.2.2","probe_ttl":2,"icmp_type":-1e300},)"
+      R"({"addr":"3.3.3.3","probe_ttl":3,"icmp_type":11}]})");
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(t->hops.size(), 1u);
+  EXPECT_EQ(t->hops[0].addr, IPAddr::must_parse("3.3.3.3"));
+}

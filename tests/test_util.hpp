@@ -33,7 +33,7 @@ inline bgp::Ip2AS make_ip2as(
   }
   std::vector<bgp::Delegation> delegations;
   for (const auto& [prefix, asn] : rir)
-    delegations.push_back({netbase::Prefix::must_parse(prefix), asn});
+    delegations.emplace_back(netbase::Prefix::must_parse(prefix), asn);
   std::vector<netbase::Prefix> ixp_prefixes;
   for (const auto& p : ixp) ixp_prefixes.push_back(netbase::Prefix::must_parse(p));
   return bgp::Ip2AS::build(rib, delegations, ixp_prefixes);
