@@ -237,7 +237,7 @@ int main(int argc, char** argv) {
   if (args.contains("snapshot-out")) {
     const serve::Snapshot snap = serve::snapshot_from_result(result);
     if (run_audit)
-      for (const auto& v : audit::audit_snapshot(snap))
+      for (const auto& v : audit::audit_snapshot(snap, opt.threads))
         violations.emplace_back(audit::Stage::refined, v);
     std::string error;
     if (!serve::write_snapshot_file(args["snapshot-out"], snap, &error)) {

@@ -1,11 +1,22 @@
 // apps/bdrmapit_serve.cpp — query engine over a bdrmapIT snapshot.
 //
-//   bdrmapit_serve --snapshot FILE [--quiet]
+//   bdrmapit_serve --snapshot FILE [--quiet] [--threads N]
+//                  [--audit | --no-audit]
 //
 // Loads a snapshot written by `bdrmapit_cli --snapshot-out` and answers
 // queries on stdin, one per line, replies on stdout. Drive it
 // interactively, from scripts, or behind a socket wrapper
 // (`socat TCP-LISTEN:8264,fork EXEC:"bdrmapit_serve --snapshot map.snap"`).
+//
+// Before serving, the snapshot image is audited against the pipeline's
+// structural invariants (serve::validate_snapshot) — the CRC in the
+// header only proves the file is the one that was written, the audit
+// proves it is one the pipeline could have written. Violations are
+// fatal: one   audit violation [serve-load] <check>: <detail>   line
+// per finding on stderr, exit 2, and no query is ever answered from
+// the bad image. `--no-audit` skips the gate (trusted images),
+// `--threads N` shards the audit scans (<= 0 picks hardware
+// concurrency).
 //
 // Protocol (requests are case-sensitive; replies are tab-separated):
 //
@@ -34,6 +45,7 @@
 // stderr, exit 2.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -45,7 +57,10 @@
 namespace {
 
 void usage(const char* argv0) {
-  std::fprintf(stderr, "usage: %s --snapshot FILE [--quiet]\n", argv0);
+  std::fprintf(stderr,
+               "usage: %s --snapshot FILE [--quiet] [--threads N] "
+               "[--audit|--no-audit]\n",
+               argv0);
 }
 
 void print_iface(std::ostream& out, const serve::SnapshotIface& rec) {
@@ -58,12 +73,19 @@ void print_iface(std::ostream& out, const serve::SnapshotIface& rec) {
 int main(int argc, char** argv) {
   std::string snapshot_path;
   bool quiet = false;
+  serve::StoreOptions store_opt;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--snapshot" && i + 1 < argc) {
       snapshot_path = argv[++i];
     } else if (a == "--quiet") {
       quiet = true;
+    } else if (a == "--threads" && i + 1 < argc) {
+      store_opt.threads = std::atoi(argv[++i]);
+    } else if (a == "--audit") {
+      store_opt.audit = true;
+    } else if (a == "--no-audit") {
+      store_opt.audit = false;
     } else {
       usage(argv[0]);
       return 1;
@@ -80,7 +102,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s: %s\n", snapshot_path.c_str(), error.c_str());
     return 2;
   }
-  const serve::AnnotationStore store(std::move(snap));
+  std::vector<serve::SnapshotIssue> issues;
+  const auto store_ptr =
+      serve::AnnotationStore::open(std::move(snap), store_opt, &issues);
+  if (!store_ptr) {
+    for (const auto& issue : issues)
+      std::fprintf(stderr, "audit violation [serve-load] %s: %s\n",
+                   issue.check.c_str(), issue.detail.c_str());
+    std::fprintf(stderr,
+                 "error: %s: snapshot violates %zu invariant(s); refusing to "
+                 "serve (use --no-audit to override)\n",
+                 snapshot_path.c_str(), issues.size());
+    return 2;
+  }
+  const serve::AnnotationStore& store = *store_ptr;
   if (!quiet) {
     const serve::StoreStats st = store.stats();
     std::fprintf(stderr,

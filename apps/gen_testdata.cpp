@@ -13,16 +13,76 @@
 //   networks.txt      the four validation networks' ASNs
 //
 // Usage: gen_testdata --out DIR [--vps N] [--seed S] [--scale small|default]
+//
+// Tamper mode (for exercising the serve-time audit gate): rewrites a
+// valid snapshot with one structural invariant broken but a fresh,
+// correct CRC — the kind of corruption a checksum cannot catch.
+//
+//   gen_testdata --tamper-snapshot IN --tamper-out OUT
+//                --tamper-mode unsorted|router-range|aslink
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "asrel/serial1.hpp"
 #include "eval/experiment.hpp"
+#include "serve/snapshot.hpp"
+
+namespace {
+
+// Break one invariant in-place; the rewrite below re-stamps the CRC so
+// only the serve-time audit can reject the result.
+bool tamper(serve::Snapshot& snap, const std::string& mode) {
+  if (mode == "unsorted") {
+    if (snap.interfaces.size() < 2) return false;
+    std::swap(snap.interfaces.front(), snap.interfaces.back());
+    return true;
+  }
+  if (mode == "router-range") {
+    if (snap.interfaces.empty()) return false;
+    snap.interfaces.front().router_id =
+        static_cast<std::uint32_t>(snap.router_count + 100);
+    return true;
+  }
+  if (mode == "aslink") {
+    // An AS nothing in the interface table mentions, reverse-ordered.
+    snap.as_links.insert(snap.as_links.begin(), {4200000000u, 64496u});
+    return true;
+  }
+  return false;
+}
+
+int run_tamper(std::map<std::string, std::string>& args) {
+  serve::Snapshot snap;
+  std::string error;
+  if (!serve::load_snapshot_file(args["tamper-snapshot"], &snap, &error)) {
+    std::fprintf(stderr, "error: %s: %s\n", args["tamper-snapshot"].c_str(),
+                 error.c_str());
+    return 1;
+  }
+  if (!tamper(snap, args["tamper-mode"])) {
+    std::fprintf(stderr,
+                 "error: cannot apply --tamper-mode %s (unknown mode or "
+                 "snapshot too small)\n",
+                 args["tamper-mode"].c_str());
+    return 1;
+  }
+  if (!serve::write_snapshot_file(args["tamper-out"], snap, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote tampered (%s) snapshot to %s\n",
+               args["tamper-mode"].c_str(), args["tamper-out"].c_str());
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::map<std::string, std::string> args;
@@ -33,6 +93,15 @@ int main(int argc, char** argv) {
       return 1;
     }
     args[argv[i] + 2] = argv[i + 1];
+  }
+  if (args.contains("tamper-snapshot")) {
+    if (!args.contains("tamper-out") || !args.contains("tamper-mode")) {
+      std::fprintf(stderr,
+                   "error: --tamper-snapshot needs --tamper-out and "
+                   "--tamper-mode unsorted|router-range|aslink\n");
+      return 1;
+    }
+    return run_tamper(args);
   }
   if (!args.contains("out")) {
     std::fprintf(stderr, "error: --out DIR is required\n");

@@ -4,12 +4,30 @@
 // linear in the corpus and graph. This bench grows the synthetic
 // Internet across three sizes and reports corpus size, wall time for
 // graph construction + annotation, refinement iterations, and accuracy,
-// demonstrating that quality holds while cost scales linearly.
+// demonstrating that quality holds while cost scales linearly. The
+// audit-t1/audit-tN columns time the full invariant audit serial vs
+// sharded over all hardware threads (the reports must be identical).
 
 #include <chrono>
+#include <string>
 
+#include "audit/invariants.hpp"
 #include "bench_util.hpp"
 #include "parallel/thread_pool.hpp"
+
+namespace {
+
+std::string render(const std::vector<audit::Violation>& vs) {
+  std::string out;
+  for (const auto& v : vs) {
+    out += v.check;
+    out += v.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
 
 int main() {
   benchutil::print_header("Scale — corpus growth vs runtime and accuracy");
@@ -41,9 +59,9 @@ int main() {
 
   const unsigned hw = parallel::hardware_threads();
   std::printf("%u hardware threads\n", hw);
-  std::printf("%-8s %6s %9s %9s %6s %9s %9s %10s %10s\n", "size", "ASes",
-              "traces", "ifaces", "iters", "map-t1", "map-tN", "precision",
-              "recall");
+  std::printf("%-8s %6s %9s %9s %6s %9s %9s %9s %9s %10s %10s\n", "size",
+              "ASes", "traces", "ifaces", "iters", "map-t1", "map-tN",
+              "audit-t1", "audit-tN", "precision", "recall");
   for (const auto& sz : sizes) {
     eval::Scenario s = eval::make_scenario(sz.params, sz.vps, true, 2018);
     const auto aliases = eval::midar_aliases(s);
@@ -70,6 +88,31 @@ int main() {
       return 1;
     }
 
+    // Full invariant audit, serial vs sharded: same report, less wall.
+    core::AnnotatorOptions audit_serial;
+    audit_serial.threads = 1;
+    const auto a0 = std::chrono::steady_clock::now();
+    const auto audit_1 = audit::audit_all(r, s.ip2as, s.rels, audit_serial);
+    const auto a1 = std::chrono::steady_clock::now();
+    const double audit_ms =
+        std::chrono::duration<double, std::milli>(a1 - a0).count();
+    core::AnnotatorOptions audit_threaded;
+    audit_threaded.threads = 0;  // hardware concurrency
+    const auto a2 = std::chrono::steady_clock::now();
+    const auto audit_n = audit::audit_all(r, s.ip2as, s.rels, audit_threaded);
+    const auto a3 = std::chrono::steady_clock::now();
+    const double audit_ms_threaded =
+        std::chrono::duration<double, std::milli>(a3 - a2).count();
+    if (render(audit_1) != render(audit_n)) {
+      std::fprintf(stderr, "sharded audit report diverged from serial\n");
+      return 1;
+    }
+    if (!audit_1.empty()) {
+      std::fprintf(stderr, "pipeline produced %zu invariant violations\n",
+                   audit_1.size());
+      return 1;
+    }
+
     double p = 0, rec = 0;
     std::size_t n = 0;
     for (const auto& [label, asn] : eval::validation_networks(s.net)) {
@@ -78,10 +121,11 @@ int main() {
       rec += m.recall();
       ++n;
     }
-    std::printf("%-8s %6zu %9zu %9zu %6d %7.0fms %7.0fms %9.1f%% %9.1f%%\n",
+    std::printf("%-8s %6zu %9zu %9zu %6d %7.0fms %7.0fms %7.0fms %7.0fms "
+                "%9.1f%% %9.1f%%\n",
                 sz.label, s.net.ases().size(), s.corpus.size(),
-                r.interfaces.size(), r.iterations, ms, ms_threaded,
-                100.0 * p / static_cast<double>(n),
+                r.interfaces.size(), r.iterations, ms, ms_threaded, audit_ms,
+                audit_ms_threaded, 100.0 * p / static_cast<double>(n),
                 100.0 * rec / static_cast<double>(n));
   }
   return 0;

@@ -1,0 +1,49 @@
+// Fuzz target: the CAIDA serial-1 relationship parser and the RelStore
+// built on top of it. Whatever survives parsing is finalized — the
+// customer-cone computation must terminate on adversarial relationship
+// graphs (cycles, self-loops, dense cliques) — and the canonical
+// write_serial1 output must be a fixed point: write → load → write
+// reproduces the same bytes.
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "asrel/relstore.hpp"
+#include "asrel/serial1.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // Bound the line count so pathological inputs stay cheap.
+  std::string input(reinterpret_cast<const char*>(data), size);
+  std::size_t newlines = 0, cut = input.size();
+  for (std::size_t i = 0; i < input.size(); ++i)
+    if (input[i] == '\n' && ++newlines == 4096) {
+      cut = i + 1;
+      break;
+    }
+  input.resize(cut);
+
+  asrel::RelStore store;
+  std::istringstream in(input);
+  (void)asrel::load_serial1(in, store);
+  store.finalize();  // must terminate, cycles and all
+
+  std::ostringstream first;
+  asrel::write_serial1(first, store);
+
+  asrel::RelStore reloaded;
+  std::istringstream again(first.str());
+  if (asrel::load_serial1(again, reloaded) != 0)
+    __builtin_trap();  // canonical output must parse without rejects
+  reloaded.finalize();
+  if (reloaded.p2c_edges() != store.p2c_edges() ||
+      reloaded.p2p_edges() != store.p2p_edges())
+    __builtin_trap();
+
+  std::ostringstream second;
+  asrel::write_serial1(second, reloaded);
+  if (first.str() != second.str()) __builtin_trap();
+  return 0;
+}

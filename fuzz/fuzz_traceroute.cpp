@@ -1,0 +1,54 @@
+// Fuzz target: the native `T|vp|dst|ttl:addr:type;...` traceroute line
+// parser. Every accepted line must satisfy the documented invariants —
+// strictly increasing probe TTLs, known reply types — and survive a
+// to_line/from_line round-trip unchanged. The whole input also runs
+// through the serial and threaded corpus readers, which must agree.
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "tracedata/traceroute.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string input(reinterpret_cast<const char*>(data), size);
+
+  std::istringstream lines(input);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line) && ++n <= 4096) {
+    const auto t = tracedata::from_line(line);
+    if (!t) continue;
+    // Accepted records obey the format contract.
+    std::uint8_t prev_ttl = 0;
+    for (const auto& h : t->hops) {
+      if (h.probe_ttl <= prev_ttl) __builtin_trap();  // strictly ascending
+      prev_ttl = h.probe_ttl;
+      if (h.reply != tracedata::ReplyType::time_exceeded &&
+          h.reply != tracedata::ReplyType::dest_unreachable &&
+          h.reply != tracedata::ReplyType::echo_reply)
+        __builtin_trap();
+    }
+    // Round trip: serialize and re-parse to the identical record.
+    const auto again = tracedata::from_line(tracedata::to_line(*t));
+    if (!again || !(*again == *t)) __builtin_trap();
+  }
+
+  // The threaded reader must agree with the serial one, record for
+  // record, on arbitrary input.
+  std::istringstream serial_in(input);
+  std::size_t malformed_serial = 0;
+  const auto serial = tracedata::read_traceroutes(serial_in, &malformed_serial);
+  std::istringstream threaded_in(input);
+  std::size_t malformed_threaded = 0;
+  const auto threaded =
+      tracedata::read_traceroutes(threaded_in, &malformed_threaded, 2);
+  if (serial.size() != threaded.size() ||
+      malformed_serial != malformed_threaded)
+    __builtin_trap();
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    if (!(serial[i] == threaded[i])) __builtin_trap();
+  return 0;
+}

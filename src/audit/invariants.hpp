@@ -15,6 +15,15 @@
 //
 // Checks are read-only except audit_fixed_point, which re-runs one
 // refinement sweep on a private copy of the graph.
+//
+// Every scan is sharded across the process-wide thread pool
+// (src/parallel/): per-shard violation buffers are merged in
+// shard-then-index order, so the violation report is byte-identical
+// for every `threads` value — `threads <= 0` means hardware
+// concurrency, 1 runs inline with no synchronization. Cross-element
+// tallies (partition membership, link back-reference counts) are
+// per-shard count vectors merged by addition before the per-index
+// check pass. Empty graphs, results, and snapshots audit cleanly.
 
 #pragma once
 
@@ -41,21 +50,24 @@ enum class Stage { graph_built, refined };
 /// Structural invariants of a built graph (§4): id/index agreement,
 /// the interface→IR partition (total and disjoint), link endpoint and
 /// back-reference consistency, label range, set dedup, last-hop flags.
-std::vector<Violation> audit_graph(const graph::Graph& g);
+std::vector<Violation> audit_graph(const graph::Graph& g, int threads = 1);
 
 /// Interface origin labels against the IP→AS map (§4.1): every
 /// interface's stored origin must equal a fresh `ip2as.lookup`.
-std::vector<Violation> audit_origins(const graph::Graph& g, const bgp::Ip2AS& ip2as);
+std::vector<Violation> audit_origins(const graph::Graph& g, const bgp::Ip2AS& ip2as,
+                                     int threads = 1);
 
 /// §4.4 reallocated-prefix correction postcondition: no interface may
 /// still carry the exact two-destination pattern the correction removes.
 std::vector<Violation> audit_reallocated(const graph::Graph& g,
-                                         const asrel::RelStore& rels);
+                                         const asrel::RelStore& rels,
+                                         int threads = 1);
 
 /// Refinement fixed point (§6.3): one more Jacobi sweep over a copy of
 /// the annotated graph must change no IR or interface annotation.
 /// Flags stale state — e.g. a sweep that read its own in-progress
-/// iteration, or annotations mutated after the run.
+/// iteration, or annotations mutated after the run. The re-sweep and
+/// the comparison scans both use opt.threads.
 std::vector<Violation> audit_fixed_point(const graph::Graph& g,
                                          const asrel::RelStore& rels,
                                          core::AnnotatorOptions opt);
@@ -63,13 +75,16 @@ std::vector<Violation> audit_fixed_point(const graph::Graph& g,
 /// Result-level consistency: the interface map mirrors the graph's
 /// annotations, iteration stats match the iteration count, and
 /// as_links() is sorted, deduplicated, and normalized (a <= b).
-std::vector<Violation> audit_result(const core::Result& r);
+std::vector<Violation> audit_result(const core::Result& r, int threads = 1);
 
-/// Snapshot image invariants: interfaces sorted by address and unique,
-/// AS links sorted/deduped/normalized, router ids within router_count.
-std::vector<Violation> audit_snapshot(const serve::Snapshot& s);
+/// Snapshot image invariants (serve::validate_snapshot rendered as
+/// audit violations): interfaces sorted by address and unique, AS links
+/// sorted/deduped/normalized with no dangling AS, router ids within
+/// router_count, router_count within the interface count.
+std::vector<Violation> audit_snapshot(const serve::Snapshot& s, int threads = 1);
 
-/// Every post-refinement audit applicable to a completed run.
+/// Every post-refinement audit applicable to a completed run. All
+/// scans shard across opt.threads executors.
 std::vector<Violation> audit_all(const core::Result& r, const bgp::Ip2AS& ip2as,
                                  const asrel::RelStore& rels,
                                  core::AnnotatorOptions opt);

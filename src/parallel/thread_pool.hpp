@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <iterator>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -128,6 +129,24 @@ T parallel_reduce(std::size_t n, int threads, T init, Fn&& fn, Merge&& merge) {
                   });
   for (T& p : partial) merge(init, p);
   return init;
+}
+
+/// Per-element result collection with positional merge order: `fn(out,
+/// i)` appends zero or more results for element i to its shard's
+/// buffer; the buffers are concatenated in shard order. Because every
+/// shard covers a contiguous index range and appends in index order,
+/// the merged vector is in element-index order for *every* thread
+/// count — the shape the invariant auditor relies on for byte-identical
+/// violation reports.
+template <typename T, typename Fn>
+std::vector<T> parallel_collect(std::size_t n, int threads, Fn&& fn) {
+  return parallel_reduce(
+      n, threads, std::vector<T>{},
+      [&fn](std::vector<T>& acc, std::size_t i) { fn(acc, i); },
+      [](std::vector<T>& total, std::vector<T>& s) {
+        total.insert(total.end(), std::make_move_iterator(s.begin()),
+                     std::make_move_iterator(s.end()));
+      });
 }
 
 }  // namespace parallel

@@ -7,6 +7,9 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
+
+#include "parallel/thread_pool.hpp"
 
 namespace serve {
 
@@ -267,6 +270,84 @@ bool load_snapshot_file(const std::string& path, Snapshot* out,
   std::ifstream in(path, std::ios::binary);
   if (!in) return fail(error, "cannot open " + path);
   return load_snapshot(in, out, error);
+}
+
+std::vector<SnapshotIssue> validate_snapshot(const Snapshot& snap, int threads) {
+  std::vector<SnapshotIssue> out;
+  auto append = [&out](std::vector<SnapshotIssue> more) {
+    out.insert(out.end(), std::make_move_iterator(more.begin()),
+               std::make_move_iterator(more.end()));
+  };
+
+  // ---- interface table: strict address order, router-id range ---------
+  // Element i compares against its predecessor, so a shard's first
+  // element still sees across the shard boundary.
+  append(parallel::parallel_collect<SnapshotIssue>(
+      snap.interfaces.size(), threads,
+      [&snap](std::vector<SnapshotIssue>& acc, std::size_t i) {
+        const SnapshotIface& rec = snap.interfaces[i];
+        if (i > 0 && !(snap.interfaces[i - 1].addr < rec.addr))
+          acc.push_back({"snapshot.iface-sorted",
+                         "interface records out of order at index " +
+                             std::to_string(i) + " (" + rec.addr.to_string() +
+                             ")"});
+        if (rec.router_id >= snap.router_count)
+          acc.push_back({"snapshot.router-id-range",
+                         "interface " + rec.addr.to_string() + " has router id " +
+                             std::to_string(rec.router_id) + " >= router count " +
+                             std::to_string(snap.router_count)});
+      }));
+
+  // Every router owns at least one interface, so the advertised router
+  // count can never exceed the interface count.
+  if (snap.router_count > snap.interfaces.size())
+    out.push_back({"snapshot.router-count",
+                   "router count " + std::to_string(snap.router_count) +
+                       " exceeds interface count " +
+                       std::to_string(snap.interfaces.size())});
+
+  // ---- AS links: normalized, strictly ascending, no dangling AS ------
+  // The membership set is order-insensitive, so a plain merge of
+  // per-shard sets stays deterministic.
+  const auto known_as = parallel::parallel_reduce<std::unordered_set<netbase::Asn>>(
+      snap.interfaces.size(), threads, {},
+      [&snap](std::unordered_set<netbase::Asn>& acc, std::size_t i) {
+        if (snap.interfaces[i].inf.router_as != netbase::kNoAs)
+          acc.insert(snap.interfaces[i].inf.router_as);
+        if (snap.interfaces[i].inf.conn_as != netbase::kNoAs)
+          acc.insert(snap.interfaces[i].inf.conn_as);
+      },
+      [](std::unordered_set<netbase::Asn>& total,
+         std::unordered_set<netbase::Asn>& s) {
+        total.insert(s.begin(), s.end());
+      });
+  append(parallel::parallel_collect<SnapshotIssue>(
+      snap.as_links.size(), threads,
+      [&snap, &known_as](std::vector<SnapshotIssue>& acc, std::size_t i) {
+        const auto& [a, b] = snap.as_links[i];
+        if (a >= b)
+          acc.push_back({"snapshot.as-links-canonical",
+                         "AS link (" + std::to_string(a) + ", " +
+                             std::to_string(b) + ") is not normalized"});
+        if (i > 0 && !(snap.as_links[i - 1] < snap.as_links[i]))
+          acc.push_back({"snapshot.as-links-canonical",
+                         "AS links out of order at index " + std::to_string(i)});
+        for (const netbase::Asn asn : {a, b})
+          if (!known_as.contains(asn))
+            acc.push_back({"snapshot.as-link-member",
+                           "AS link (" + std::to_string(a) + ", " +
+                               std::to_string(b) + ") names AS " +
+                               std::to_string(asn) +
+                               " that no interface record mentions"});
+      }));
+
+  // ---- refinement stats ----------------------------------------------
+  if (snap.iterations != snap.iteration_stats.size())
+    out.push_back({"snapshot.iteration-stats",
+                   std::to_string(snap.iterations) + " iterations but " +
+                       std::to_string(snap.iteration_stats.size()) +
+                       " stat entries"});
+  return out;
 }
 
 }  // namespace serve

@@ -72,6 +72,32 @@ bool load_snapshot(std::istream& in, Snapshot* out, std::string* error);
 bool load_snapshot_file(const std::string& path, Snapshot* out,
                         std::string* error);
 
+/// One failed snapshot-image invariant. `check` is a stable dotted name
+/// (the same names the audit layer reports, e.g. "snapshot.iface-sorted");
+/// `detail` pinpoints the offending record.
+struct SnapshotIssue {
+  std::string check;
+  std::string detail;
+};
+
+/// Structural invariants of a snapshot image, beyond what the CRC can
+/// promise: interface records strictly ascending by address (sorted and
+/// duplicate-free), router ids within router_count, router_count itself
+/// bounded by the interface count, AS links normalized (a < b) and
+/// strictly ascending, every linked AS actually operating or adjacent
+/// to at least one interface, and iteration stats matching the
+/// iteration count. A CRC-valid file can still fail these — a stale,
+/// hand-edited, or foreign snapshot — which is what the serve-time
+/// audit gate rejects.
+///
+/// Scans are sharded across up to `threads` executors (<= 0 means
+/// hardware concurrency) and per-shard results merged in shard-then-
+/// index order, so the report is byte-identical for every thread count.
+/// Empty images (zero interfaces, zero links, zero stats) validate
+/// cleanly rather than erroring.
+std::vector<SnapshotIssue> validate_snapshot(const Snapshot& snap,
+                                             int threads = 1);
+
 /// CRC-32 (IEEE 802.3, reflected) of a byte buffer. Exposed for tests.
 std::uint32_t crc32(const void* data, std::size_t len,
                     std::uint32_t seed = 0) noexcept;

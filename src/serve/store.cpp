@@ -1,6 +1,7 @@
 #include "serve/store.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 namespace serve {
 
@@ -34,6 +35,20 @@ AnnotationStore::AnnotationStore(Snapshot snap) : snap_(std::move(snap)) {
   for (const auto& [asn, count] : iface_count_by_as_)
     if (asn != netbase::kNoAs) ++ases;
   stats_.ases = ases;
+}
+
+std::unique_ptr<AnnotationStore> AnnotationStore::open(
+    Snapshot snap, const StoreOptions& opt, std::vector<SnapshotIssue>* issues) {
+  if (opt.audit) {
+    std::vector<SnapshotIssue> found = validate_snapshot(snap, opt.threads);
+    if (!found.empty()) {
+      if (issues)
+        issues->insert(issues->end(), std::make_move_iterator(found.begin()),
+                       std::make_move_iterator(found.end()));
+      return nullptr;
+    }
+  }
+  return std::unique_ptr<AnnotationStore>(new AnnotationStore(std::move(snap)));
 }
 
 const SnapshotIface* AnnotationStore::find(

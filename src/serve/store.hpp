@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -37,10 +38,28 @@ struct StoreStats {
   std::uint32_t iterations = 0;
 };
 
+/// Construction-time audit knobs for AnnotationStore::open.
+struct StoreOptions {
+  bool audit = true;  ///< validate the snapshot image before indexing
+  int threads = 1;    ///< executors for the validation scans (<= 0: auto)
+};
+
 class AnnotationStore {
  public:
-  /// Takes ownership of the snapshot and builds all indexes.
+  /// Takes ownership of the snapshot and builds all indexes. Performs
+  /// no validation — callers that ingest untrusted snapshots should go
+  /// through open().
   explicit AnnotationStore(Snapshot snap);
+
+  /// Audited construction: runs serve::validate_snapshot over the image
+  /// first and refuses to build a store over a violating snapshot —
+  /// returns nullptr with every violation appended to `*issues` (when
+  /// non-null). A CRC check only proves the file is the one that was
+  /// written; this gate proves it is one the pipeline could have
+  /// written. With opt.audit false it always constructs.
+  static std::unique_ptr<AnnotationStore> open(Snapshot snap,
+                                               const StoreOptions& opt = {},
+                                               std::vector<SnapshotIssue>* issues = nullptr);
 
   AnnotationStore(const AnnotationStore&) = delete;
   AnnotationStore& operator=(const AnnotationStore&) = delete;

@@ -2,6 +2,8 @@
 // audits clean, and each class of deliberate corruption — bad label,
 // broken partition, unsorted/duplicated AS sets, stale Jacobi state,
 // inconsistent result or snapshot — triggers exactly the named check.
+// The fixtures and corruption matrix live in audit_corruptions.hpp,
+// shared with audit_parallel_test.
 
 #include <gtest/gtest.h>
 
@@ -9,62 +11,12 @@
 #include <string>
 #include <vector>
 
-#include "audit/invariants.hpp"
-#include "core/bdrmapit.hpp"
-#include "graph/graph.hpp"
-#include "serve/snapshot.hpp"
-#include "test_util.hpp"
+#include "audit_corruptions.hpp"
 
 using audit::Violation;
-
-namespace {
-
-// A small but complete scenario: two origin ASes, a provider, an IXP
-// hop, aliases, and enough destinations to populate every AS set.
-struct Pipeline {
-  bgp::Ip2AS ip2as = testutil::make_ip2as(
-      {{"20.1.0.0/16", 1}, {"20.2.0.0/16", 2}, {"20.3.0.0/16", 3},
-       {"20.4.0.0/16", 4}},
-      {"20.9.0.0/24"});
-  asrel::RelStore rels = testutil::make_rels({"1>2", "1>3", "2~3", "1>4"});
-  std::vector<tracedata::Traceroute> corpus{
-      testutil::tr("vp", "20.3.0.9",
-                   {{1, "20.1.0.1", 'T'}, {2, "20.2.0.1", 'T'}, {3, "20.3.0.9", 'E'}}),
-      testutil::tr("vp", "20.2.0.9",
-                   {{1, "20.1.0.1", 'T'}, {2, "20.9.0.5", 'T'}, {3, "20.2.0.9", 'E'}}),
-      testutil::tr("vp", "20.4.0.9",
-                   {{1, "20.1.0.2", 'T'}, {2, "20.4.0.1", 'T'}, {4, "20.4.0.9", 'E'}}),
-  };
-  tracedata::AliasSets aliases;
-  core::AnnotatorOptions opt;
-
-  Pipeline() {
-    aliases.add({netbase::IPAddr::must_parse("20.1.0.1"),
-                 netbase::IPAddr::must_parse("20.1.0.2")});
-  }
-
-  core::Result run() const {
-    return core::Bdrmapit::run(corpus, aliases, ip2as, rels, opt);
-  }
-};
-
-bool has_check(const std::vector<Violation>& vs, const std::string& check) {
-  return std::any_of(vs.begin(), vs.end(),
-                     [&](const Violation& v) { return v.check == check; });
-}
-
-std::string checks_of(const std::vector<Violation>& vs) {
-  std::string out;
-  for (const auto& v : vs) {
-    out += v.check;
-    out += " (";
-    out += v.detail;
-    out += "); ";
-  }
-  return out;
-}
-
-}  // namespace
+using audit_fixtures::checks_of;
+using audit_fixtures::has_check;
+using audit_fixtures::Pipeline;
 
 TEST(Audit, HealthyPipelinePassesEveryAudit) {
   const Pipeline p;
@@ -91,6 +43,53 @@ TEST(Audit, AuditedRunMatchesPlainRunAndPasses) {
   const core::Result plain = p.run();
   EXPECT_EQ(audited.iterations, plain.iterations);
   EXPECT_EQ(audited.as_links(), plain.as_links());
+}
+
+// Every row of the shared corruption matrix must trigger exactly the
+// check it names — the same matrix audit_parallel_test replays at
+// multiple thread counts.
+TEST(Audit, EveryMatrixCorruptionTriggersItsCheck) {
+  const Pipeline p;
+  for (const auto& c : audit_fixtures::corruption_matrix()) {
+    core::Result r = p.run();
+    c.apply(r);
+    const auto vs = audit::audit_all(r, p.ip2as, p.rels, p.opt);
+    EXPECT_TRUE(has_check(vs, c.check))
+        << c.name << " did not trigger " << c.check << "; got " << checks_of(vs);
+  }
+  const core::Result r = p.run();
+  for (const auto& c : audit_fixtures::snapshot_corruption_matrix()) {
+    serve::Snapshot s = serve::snapshot_from_result(r);
+    c.apply(s);
+    const auto vs = audit::audit_snapshot(s);
+    EXPECT_TRUE(has_check(vs, c.check))
+        << c.name << " did not trigger " << c.check << "; got " << checks_of(vs);
+  }
+}
+
+// Empty inputs are boring, not broken: a default graph, result, and
+// zero-section snapshot must audit clean without throwing.
+TEST(Audit, EmptyInputsAuditClean) {
+  const Pipeline p;
+  const graph::Graph empty_graph;
+  EXPECT_TRUE(audit::audit_graph(empty_graph).empty());
+  EXPECT_TRUE(audit::audit_origins(empty_graph, p.ip2as).empty());
+  EXPECT_TRUE(audit::audit_reallocated(empty_graph, p.rels).empty());
+  EXPECT_TRUE(audit::audit_fixed_point(empty_graph, p.rels, p.opt).empty());
+
+  const core::Result empty_result;
+  EXPECT_TRUE(audit::audit_result(empty_result).empty())
+      << checks_of(audit::audit_result(empty_result));
+  EXPECT_TRUE(audit::audit_all(empty_result, p.ip2as, p.rels, p.opt).empty());
+
+  const serve::Snapshot empty_snap;
+  EXPECT_TRUE(audit::audit_snapshot(empty_snap).empty());
+
+  std::vector<std::pair<audit::Stage, Violation>> violations;
+  const core::Result from_empty_corpus =
+      audit::audited_run({}, {}, p.ip2as, p.rels, p.opt, &violations);
+  EXPECT_TRUE(violations.empty());
+  EXPECT_TRUE(from_empty_corpus.interfaces.empty());
 }
 
 TEST(Audit, BadLinkLabelIsDetected) {

@@ -98,6 +98,40 @@ if(rc EQUAL 0)
   message(FATAL_ERROR "bdrmapit_serve accepted a non-snapshot file")
 endif()
 
+# ---- serve-time audit gate: CRC-valid but invariant-violating ---------
+# gen_testdata --tamper-snapshot breaks one structural invariant and
+# re-stamps a correct CRC — only the load-time audit can reject it. The
+# engine must exit 2 before answering a single query; --no-audit must
+# still serve it.
+foreach(mode unsorted router-range aslink)
+  run(${GEN} --tamper-snapshot ${OUT}/map.snap
+      --tamper-out ${OUT}/tampered_${mode}.snap --tamper-mode ${mode})
+  execute_process(COMMAND ${SERVE} --snapshot ${OUT}/tampered_${mode}.snap --quiet
+                  INPUT_FILE ${OUT}/queries.txt
+                  OUTPUT_FILE ${OUT}/tampered_${mode}.out
+                  ERROR_FILE ${OUT}/tampered_${mode}.err
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "bdrmapit_serve exit ${rc} (want 2) on ${mode}-tampered snapshot")
+  endif()
+  file(SIZE ${OUT}/tampered_${mode}.out reply_bytes)
+  if(NOT reply_bytes EQUAL 0)
+    message(FATAL_ERROR "bdrmapit_serve answered queries from a ${mode}-tampered snapshot")
+  endif()
+  file(READ ${OUT}/tampered_${mode}.err err_text)
+  if(NOT err_text MATCHES "audit violation \\[serve-load\\]")
+    message(FATAL_ERROR "no structured audit reason for ${mode}: ${err_text}")
+  endif()
+endforeach()
+execute_process(COMMAND ${SERVE} --snapshot ${OUT}/tampered_aslink.snap
+                --quiet --no-audit --threads 4
+                INPUT_FILE ${OUT}/queries.txt
+                OUTPUT_QUIET ERROR_QUIET
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--no-audit failed to serve a tampered snapshot (${rc})")
+endif()
+
 # ---- threaded run: byte-identical outputs for any thread count --------
 # The first run used the CLI default (hardware concurrency); pin 1 and
 # 4 explicitly and require identical TSV and snapshot bytes.

@@ -362,3 +362,43 @@ TEST_P(FuzzSeeds, SnapshotGarbageNeverCrashes) {
     try_load(bytes, &error);  // must simply not crash
   }
 }
+
+TEST(SnapshotRobustness, EmptySnapshotRoundTripsAndValidatesClean) {
+  // A default snapshot serializes to a zero-section image; it must load
+  // back and pass validation (no throw, no issues) at any thread count.
+  const std::string bytes = snapshot_bytes(serve::Snapshot{});
+  std::istringstream in(bytes, std::ios::binary);
+  serve::Snapshot out;
+  std::string error;
+  ASSERT_TRUE(serve::load_snapshot(in, &out, &error)) << error;
+  for (const int threads : {1, 2, 8})
+    EXPECT_TRUE(serve::validate_snapshot(out, threads).empty());
+}
+
+TEST(SnapshotRobustness, ZeroSectionImagesValidateWithoutThrowing) {
+  {
+    // Interfaces present but zero routers advertised: every record is
+    // out of range — reported, not thrown.
+    serve::Snapshot s = sample_snapshot();
+    s.router_count = 0;
+    const auto issues = serve::validate_snapshot(s, 2);
+    EXPECT_FALSE(issues.empty());
+    for (const auto& i : issues) EXPECT_EQ(i.check, "snapshot.router-id-range");
+  }
+  {
+    // AS links over an empty interface table: every endpoint dangles.
+    serve::Snapshot s = sample_snapshot();
+    s.interfaces.clear();
+    s.router_count = 0;
+    const auto issues = serve::validate_snapshot(s, 8);
+    EXPECT_FALSE(issues.empty());
+  }
+  {
+    // Iterations advertised with an empty stats section.
+    serve::Snapshot s;
+    s.iterations = 3;
+    const auto issues = serve::validate_snapshot(s, 1);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_EQ(issues.front().check, "snapshot.iteration-stats");
+  }
+}

@@ -270,3 +270,88 @@ TEST(Store, RouterMembershipMatchesGraph) {
     EXPECT_EQ(rec->router_id, static_cast<std::uint32_t>(f.ir));
   }
 }
+
+// ---- serve-time audit gate ---------------------------------------------
+
+TEST(StoreAudit, HealthySnapshotValidatesCleanAndOpens) {
+  auto run = run_small(5);
+  serve::Snapshot snap = serve::snapshot_from_result(run.result);
+  EXPECT_TRUE(serve::validate_snapshot(snap).empty());
+  std::vector<serve::SnapshotIssue> issues;
+  const auto store = serve::AnnotationStore::open(snap, {}, &issues);
+  ASSERT_NE(store, nullptr);
+  EXPECT_TRUE(issues.empty());
+  EXPECT_EQ(store->stats().interfaces, snap.interfaces.size());
+}
+
+TEST(StoreAudit, CrcValidButViolatingSnapshotIsRejected) {
+  auto run = run_small(5);
+  serve::Snapshot snap = serve::snapshot_from_result(run.result);
+  ASSERT_GE(snap.interfaces.size(), 2u);
+  std::swap(snap.interfaces.front(), snap.interfaces.back());
+  // The corruption survives a serialize/load round-trip: the rewritten
+  // CRC is valid, so only the audit can catch it.
+  serve::Snapshot reloaded = must_load(serialize(snap));
+  const auto found = serve::validate_snapshot(reloaded);
+  ASSERT_FALSE(found.empty());
+  EXPECT_EQ(found.front().check, "snapshot.iface-sorted");
+
+  std::vector<serve::SnapshotIssue> issues;
+  EXPECT_EQ(serve::AnnotationStore::open(std::move(reloaded), {}, &issues),
+            nullptr);
+  EXPECT_FALSE(issues.empty());
+}
+
+TEST(StoreAudit, NoAuditOptOutStillOpens) {
+  auto run = run_small(5);
+  serve::Snapshot snap = serve::snapshot_from_result(run.result);
+  std::swap(snap.interfaces.front(), snap.interfaces.back());
+  serve::StoreOptions opt;
+  opt.audit = false;
+  EXPECT_NE(serve::AnnotationStore::open(std::move(snap), opt), nullptr);
+}
+
+TEST(StoreAudit, DanglingAsLinkAndRouterCountAreFlagged) {
+  auto run = run_small(5);
+  {
+    serve::Snapshot snap = serve::snapshot_from_result(run.result);
+    snap.as_links.push_back({4200000000u, 4200000001u});
+    const auto found = serve::validate_snapshot(snap);
+    ASSERT_FALSE(found.empty());
+    bool member = false;
+    for (const auto& i : found) member |= i.check == "snapshot.as-link-member";
+    EXPECT_TRUE(member);
+  }
+  {
+    serve::Snapshot snap = serve::snapshot_from_result(run.result);
+    snap.router_count = snap.interfaces.size() + 3;
+    const auto found = serve::validate_snapshot(snap);
+    ASSERT_FALSE(found.empty());
+    EXPECT_EQ(found.front().check, "snapshot.router-count");
+  }
+}
+
+TEST(StoreAudit, ValidationIsThreadCountInvariant) {
+  auto run = run_small(5);
+  serve::Snapshot snap = serve::snapshot_from_result(run.result);
+  std::swap(snap.interfaces.front(), snap.interfaces.back());
+  snap.as_links.push_back({4200000000u, 4200000001u});
+  const auto base = serve::validate_snapshot(snap, 1);
+  for (const int threads : {2, 8, 0}) {
+    const auto got = serve::validate_snapshot(snap, threads);
+    ASSERT_EQ(got.size(), base.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(got[i].check, base[i].check);
+      EXPECT_EQ(got[i].detail, base[i].detail);
+    }
+  }
+}
+
+TEST(StoreAudit, EmptySnapshotValidatesCleanAndServesZeroState) {
+  const serve::Snapshot empty;
+  EXPECT_TRUE(serve::validate_snapshot(empty).empty());
+  const auto store = serve::AnnotationStore::open(empty);
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->stats().interfaces, 0u);
+  EXPECT_EQ(store->stats().routers, 0u);
+}
