@@ -2,11 +2,17 @@
 //
 //   bdrmapit_serve --snapshot FILE [--quiet] [--threads N]
 //                  [--audit | --no-audit]
+//                  [--listen ADDR:PORT] [--max-conns N]
+//                  [--idle-timeout SECONDS]
 //
-// Loads a snapshot written by `bdrmapit_cli --snapshot-out` and answers
-// queries on stdin, one per line, replies on stdout. Drive it
-// interactively, from scripts, or behind a socket wrapper
-// (`socat TCP-LISTEN:8264,fork EXEC:"bdrmapit_serve --snapshot map.snap"`).
+// Loads a snapshot written by `bdrmapit_cli --snapshot-out` and
+// answers queries — by default on stdin (one request per line, replies
+// on stdout), or over TCP with `--listen` (e.g. `--listen
+// 127.0.0.1:8264`, also `[::1]:8264`). Both transports drive the same
+// serve::Protocol, so a given request stream yields byte-identical
+// replies either way. The protocol grammar, framing rules, and the TCP
+// path's backpressure/timeout/overload semantics live in
+// docs/SERVING.md.
 //
 // Before serving, the snapshot image is audited against the pipeline's
 // structural invariants (serve::validate_snapshot) — the CRC in the
@@ -14,44 +20,25 @@
 // proves it is one the pipeline could have written. Violations are
 // fatal: one   audit violation [serve-load] <check>: <detail>   line
 // per finding on stderr, exit 2, and no query is ever answered from
-// the bad image. `--no-audit` skips the gate (trusted images),
-// `--threads N` shards the audit scans (<= 0 picks hardware
-// concurrency).
+// the bad image. `--no-audit` skips the gate (trusted images).
 //
-// Protocol (requests are case-sensitive; replies are tab-separated):
+// `--threads N` is the one concurrency knob: it shards the audit scans
+// and sizes the TCP event loops (<= 0 picks hardware concurrency).
 //
-//   IFACE <addr> [<addr> ...]
-//       One reply line per address, identical to the bdrmapit_cli
-//       --output TSV row:   <addr>\t<router_as>\t<conn_as>\t<flags>
-//       Unknown addresses reply   ERR\tnot-found\t<addr>
-//   PREFIX <cidr>
-//       TSV rows (as above) for every interface inside the CIDR, in
-//       ascending address order, then   END\t<count>
-//   LINKS <asn>
-//       Rows <as_a>\t<as_b> for every interdomain link involving the
-//       AS, ascending, then   END\t<count>
-//   ROUTER <addr>
-//       Rows (as IFACE) for every interface on the same inferred
-//       router as <addr>, then   END\t<count>
-//   COUNT <asn>
-//       One row:   <asn>\t<interface-count>
-//   STATS
-//       Rows <key>\t<value>, then   END\t<count>
-//   QUIT
-//       Exits 0 (as does end-of-input).
-//
-// Malformed requests reply ERR\t<reason>[\t<detail>] and the engine
-// keeps serving. A missing/corrupt snapshot is fatal: diagnostic on
-// stderr, exit 2.
+// Exit codes: 0 clean (end of stdin, QUIT, or drained SIGTERM/SIGINT),
+// 1 usage error, 2 unreadable/corrupt/invariant-violating snapshot,
+// 3 listen failure (malformed ADDR:PORT, port already bound, ...).
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
-#include <sstream>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "net/server.hpp"
+#include "serve/protocol.hpp"
 #include "serve/store.hpp"
 
 namespace {
@@ -59,20 +46,130 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --snapshot FILE [--quiet] [--threads N] "
-               "[--audit|--no-audit]\n",
+               "[--audit|--no-audit]\n"
+               "       [--listen ADDR:PORT] [--max-conns N] "
+               "[--idle-timeout SECONDS]\n",
                argv0);
 }
 
-void print_iface(std::ostream& out, const serve::SnapshotIface& rec) {
-  out << rec.addr.to_string() << '\t' << rec.inf.router_as << '\t'
-      << rec.inf.conn_as << '\t' << rec.inf.flags() << '\n';
+struct ListenAddr {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+// "HOST:PORT" with a numeric port in [1, 65535]; IPv6 hosts may be
+// bracketed ("[::1]:8264"). Host syntax itself is validated by
+// net::Listener::open.
+std::optional<ListenAddr> parse_listen(const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == text.size())
+    return std::nullopt;
+  std::string host = text.substr(0, colon);
+  if (host.size() >= 2 && host.front() == '[' && host.back() == ']')
+    host = host.substr(1, host.size() - 2);
+  if (host.empty()) return std::nullopt;
+  long port = 0;
+  for (std::size_t i = colon + 1; i < text.size(); ++i) {
+    if (text[i] < '0' || text[i] > '9') return std::nullopt;
+    port = port * 10 + (text[i] - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  if (port < 1) return std::nullopt;
+  return ListenAddr{std::move(host), static_cast<std::uint16_t>(port)};
+}
+
+net::Server* g_server = nullptr;
+
+void on_terminate_signal(int) {
+  if (g_server != nullptr) g_server->request_shutdown();
+}
+
+int run_stdin(const serve::AnnotationStore& store) {
+  const serve::Protocol protocol(store);  // NETSTATS answers ERR here
+  std::string line;
+  std::string out;
+  while (std::getline(std::cin, line)) {
+    out.clear();
+    const serve::Protocol::Action action = protocol.handle_line(line, out);
+    std::cout << out;
+    std::cout.flush();
+    if (action == serve::Protocol::Action::kQuit) break;
+  }
+  return 0;
+}
+
+int run_listen(const serve::AnnotationStore& store, const ListenAddr& addr,
+               int threads, std::size_t max_conns, long idle_timeout_s,
+               bool quiet) {
+  net::ServerConfig config;
+  config.host = addr.host;
+  config.port = addr.port;
+  config.threads = threads;
+  config.max_connections = max_conns;
+  if (idle_timeout_s > 0)
+    config.idle_timeout = std::chrono::seconds(idle_timeout_s);
+
+  // The Protocol is shared by every worker loop; its NETSTATS hook
+  // reads the server's atomic counters, wired up after construction.
+  net::Server* server_ptr = nullptr;
+  const serve::Protocol protocol(store, [&server_ptr] {
+    const net::ServerStats st = server_ptr->stats();
+    return serve::Protocol::NetStats{
+        {"accepted", st.accepted},   {"active", st.active},
+        {"closed", st.closed},       {"shed", st.shed},
+        {"requests", st.requests},   {"bytes_in", st.bytes_in},
+        {"bytes_out", st.bytes_out},
+    };
+  });
+  net::Server server(
+      std::move(config),
+      [&protocol](std::string_view line, std::string& out) {
+        return protocol.handle_line(line, out) ==
+                       serve::Protocol::Action::kQuit
+                   ? net::HandlerAction::kClose
+                   : net::HandlerAction::kContinue;
+      });
+  server_ptr = &server;
+
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "error: listen %s:%u: %s\n", addr.host.c_str(),
+                 static_cast<unsigned>(addr.port), error.c_str());
+    return 3;
+  }
+  if (!quiet)
+    std::fprintf(stderr, "listening on %s:%u\n", addr.host.c_str(),
+                 static_cast<unsigned>(server.port()));
+
+  g_server = &server;
+  std::signal(SIGTERM, on_terminate_signal);
+  std::signal(SIGINT, on_terminate_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  server.wait();  // until SIGTERM/SIGINT drains the loops
+  g_server = nullptr;
+
+  if (!quiet) {
+    const net::ServerStats st = server.stats();
+    std::fprintf(stderr,
+                 "drained: %llu connections served (%llu shed), %llu "
+                 "requests, %llu bytes out\n",
+                 static_cast<unsigned long long>(st.closed),
+                 static_cast<unsigned long long>(st.shed),
+                 static_cast<unsigned long long>(st.requests),
+                 static_cast<unsigned long long>(st.bytes_out));
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string snapshot_path;
+  std::string listen_text;
   bool quiet = false;
+  long max_conns = 4096;
+  long idle_timeout_s = 300;
   serve::StoreOptions store_opt;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -86,6 +183,20 @@ int main(int argc, char** argv) {
       store_opt.audit = true;
     } else if (a == "--no-audit") {
       store_opt.audit = false;
+    } else if (a == "--listen" && i + 1 < argc) {
+      listen_text = argv[++i];
+    } else if (a == "--max-conns" && i + 1 < argc) {
+      max_conns = std::atol(argv[++i]);
+      if (max_conns < 1) {
+        std::fprintf(stderr, "error: --max-conns must be >= 1\n");
+        return 1;
+      }
+    } else if (a == "--idle-timeout" && i + 1 < argc) {
+      idle_timeout_s = std::atol(argv[++i]);
+      if (idle_timeout_s < 1) {
+        std::fprintf(stderr, "error: --idle-timeout must be >= 1 second\n");
+        return 1;
+      }
     } else {
       usage(argv[0]);
       return 1;
@@ -94,6 +205,20 @@ int main(int argc, char** argv) {
   if (snapshot_path.empty()) {
     usage(argv[0]);
     return 1;
+  }
+
+  // Reject a malformed listen address before the (possibly slow)
+  // snapshot load, with the listen-specific exit code.
+  std::optional<ListenAddr> listen_addr;
+  if (!listen_text.empty()) {
+    listen_addr = parse_listen(listen_text);
+    if (!listen_addr) {
+      std::fprintf(stderr,
+                   "error: listen %s: malformed address (want HOST:PORT, "
+                   "port 1-65535)\n",
+                   listen_text.c_str());
+      return 3;
+    }
   }
 
   serve::Snapshot snap;
@@ -126,120 +251,9 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(st.as_links), st.iterations);
   }
 
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    std::istringstream ss(line);
-    std::string cmd;
-    ss >> cmd;
-    if (cmd.empty() || cmd[0] == '#') continue;
-
-    if (cmd == "QUIT") break;
-
-    if (cmd == "IFACE") {
-      std::vector<netbase::IPAddr> addrs;
-      std::vector<std::string> raw;
-      std::string tok;
-      bool bad = false;
-      while (ss >> tok) {
-        const auto a = netbase::IPAddr::parse(tok);
-        if (!a) {
-          std::cout << "ERR\tbad-address\t" << tok << '\n';
-          bad = true;
-          break;
-        }
-        addrs.push_back(*a);
-        raw.push_back(tok);
-      }
-      if (bad) continue;
-      if (addrs.empty()) {
-        std::cout << "ERR\tmissing-argument\tIFACE\n";
-        continue;
-      }
-      const auto recs = store.find_batch(addrs);
-      for (std::size_t i = 0; i < recs.size(); ++i) {
-        if (recs[i])
-          print_iface(std::cout, *recs[i]);
-        else
-          std::cout << "ERR\tnot-found\t" << raw[i] << '\n';
-      }
-    } else if (cmd == "PREFIX") {
-      std::string tok;
-      if (!(ss >> tok)) {
-        std::cout << "ERR\tmissing-argument\tPREFIX\n";
-        continue;
-      }
-      const auto p = netbase::Prefix::parse(tok);
-      if (!p) {
-        std::cout << "ERR\tbad-prefix\t" << tok << '\n';
-        continue;
-      }
-      const auto recs = store.find_under(*p);
-      for (const auto* rec : recs) print_iface(std::cout, *rec);
-      std::cout << "END\t" << recs.size() << '\n';
-    } else if (cmd == "LINKS") {
-      std::string tok;
-      if (!(ss >> tok)) {
-        std::cout << "ERR\tmissing-argument\tLINKS\n";
-        continue;
-      }
-      const auto asn = netbase::parse_asn(tok);
-      if (!asn) {
-        std::cout << "ERR\tbad-asn\t" << tok << '\n';
-        continue;
-      }
-      const auto& links = store.links_of(*asn);
-      for (const auto& [a, b] : links) std::cout << a << '\t' << b << '\n';
-      std::cout << "END\t" << links.size() << '\n';
-    } else if (cmd == "ROUTER") {
-      std::string tok;
-      if (!(ss >> tok)) {
-        std::cout << "ERR\tmissing-argument\tROUTER\n";
-        continue;
-      }
-      const auto a = netbase::IPAddr::parse(tok);
-      if (!a) {
-        std::cout << "ERR\tbad-address\t" << tok << '\n';
-        continue;
-      }
-      const auto* rec = store.find(*a);
-      if (!rec) {
-        std::cout << "ERR\tnot-found\t" << tok << '\n';
-        continue;
-      }
-      // Aliases of one router are contiguous nowhere, so scan; router
-      // fan-out is tiny compared to the table.
-      std::size_t count = 0;
-      for (const auto& other : store.snapshot().interfaces) {
-        if (other.router_id != rec->router_id) continue;
-        print_iface(std::cout, other);
-        ++count;
-      }
-      std::cout << "END\t" << count << '\n';
-    } else if (cmd == "COUNT") {
-      std::string tok;
-      if (!(ss >> tok)) {
-        std::cout << "ERR\tmissing-argument\tCOUNT\n";
-        continue;
-      }
-      const auto asn = netbase::parse_asn(tok);
-      if (!asn) {
-        std::cout << "ERR\tbad-asn\t" << tok << '\n';
-        continue;
-      }
-      std::cout << *asn << '\t' << store.iface_count_of(*asn) << '\n';
-    } else if (cmd == "STATS") {
-      const serve::StoreStats st = store.stats();
-      std::cout << "interfaces\t" << st.interfaces << '\n'
-                << "routers\t" << st.routers << '\n'
-                << "border_interfaces\t" << st.border_interfaces << '\n'
-                << "as_links\t" << st.as_links << '\n'
-                << "ases\t" << st.ases << '\n'
-                << "iterations\t" << st.iterations << '\n';
-      std::cout << "END\t6\n";
-    } else {
-      std::cout << "ERR\tunknown-command\t" << cmd << '\n';
-    }
-    std::cout.flush();
-  }
-  return 0;
+  if (listen_addr)
+    return run_listen(store, *listen_addr, store_opt.threads,
+                      static_cast<std::size_t>(max_conns), idle_timeout_s,
+                      quiet);
+  return run_stdin(store);
 }

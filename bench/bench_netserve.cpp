@@ -1,0 +1,366 @@
+// bench/bench_netserve.cpp — TCP serving-layer load generator.
+//
+// Measures the epoll front-end (src/net/) the way real clients hit it:
+// M concurrent connections, each pipelining D single-line requests per
+// batch over loopback, reporting aggregate queries/sec and per-request
+// p50/p99 latency (batch-send to reply-receipt, so queueing delay at
+// depth D is included — that is the number a client actually sees).
+//
+// Two modes:
+//
+//   bench_netserve
+//       Self-contained: runs the pipeline on a synthetic Internet,
+//       freezes a snapshot, starts an in-process net::Server over it
+//       on an ephemeral port, and drives IFACE queries drawn from the
+//       snapshot's own addresses. Enforces the serving-layer floor of
+//       >= 100k queries/sec (exit 1 below it, as bench_serve does for
+//       the store itself).
+//
+//   bench_netserve --connect HOST:PORT --queries FILE
+//       Drives an external `bdrmapit_serve --listen` instance with the
+//       request lines in FILE (one-line-reply requests only: IFACE
+//       with a single address, or COUNT). CI's server smoke leg uses
+//       this with --min-qps to assert the served snapshot answers.
+//
+// Common knobs: --clients M (default 4), --pipeline D (default 16),
+// --duration SECONDS (default 3), --min-qps N (floor; default 100000
+// self-contained, 1 external).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "net/server.hpp"
+#include "netbase/rng.hpp"
+#include "serve/protocol.hpp"
+#include "serve/store.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::string connect_host;
+  std::uint16_t connect_port = 0;
+  std::string queries_path;
+  std::size_t clients = 4;
+  std::size_t pipeline = 16;
+  double duration_s = 3.0;
+  double min_qps = -1.0;  ///< <0: mode default
+};
+
+struct ClientResult {
+  std::uint64_t responses = 0;
+  std::uint64_t err_lines = 0;
+  std::vector<double> latencies_us;
+  bool failed = false;
+};
+
+int connect_client(const std::string& host, std::uint16_t port) {
+  sockaddr_storage addr{};
+  socklen_t len = 0;
+  int family = AF_UNSPEC;
+  in_addr v4{};
+  in6_addr v6{};
+  if (::inet_pton(AF_INET, host.c_str(), &v4) == 1) {
+    auto* sa = reinterpret_cast<sockaddr_in*>(&addr);
+    sa->sin_family = AF_INET;
+    sa->sin_addr = v4;
+    sa->sin_port = htons(port);
+    len = sizeof(sockaddr_in);
+    family = AF_INET;
+  } else if (::inet_pton(AF_INET6, host.c_str(), &v6) == 1) {
+    auto* sa = reinterpret_cast<sockaddr_in6*>(&addr);
+    sa->sin6_family = AF_INET6;
+    sa->sin6_addr = v6;
+    sa->sin6_port = htons(port);
+    len = sizeof(sockaddr_in6);
+    family = AF_INET6;
+  } else {
+    return -1;
+  }
+  const int fd = ::socket(family, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), len) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+// One client: batches of `pipeline` requests, counting a response per
+// reply newline (callers must use one-line-reply requests).
+ClientResult run_client(const std::string& host, std::uint16_t port,
+                        const std::vector<std::string>& queries,
+                        std::size_t pipeline, Clock::time_point deadline,
+                        std::uint64_t seed) {
+  ClientResult result;
+  const int fd = connect_client(host, port);
+  if (fd < 0) {
+    result.failed = true;
+    return result;
+  }
+  result.latencies_us.reserve(1 << 20);
+
+  std::size_t next = seed % queries.size();
+  std::string batch;
+  std::vector<char> rx(64 * 1024);
+  std::string carry;  // partial reply line across recv calls
+
+  while (Clock::now() < deadline) {
+    batch.clear();
+    for (std::size_t i = 0; i < pipeline; ++i) {
+      batch += queries[next];
+      batch += '\n';
+      next = (next + 1) % queries.size();
+    }
+    const Clock::time_point sent = Clock::now();
+    if (!send_all(fd, batch.data(), batch.size())) {
+      result.failed = true;
+      break;
+    }
+    std::size_t pending = pipeline;
+    while (pending > 0) {
+      const ssize_t n = ::recv(fd, rx.data(), rx.size(), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        result.failed = true;
+        break;
+      }
+      const Clock::time_point got = Clock::now();
+      const double latency_us =
+          std::chrono::duration<double, std::micro>(got - sent).count();
+      for (ssize_t i = 0; i < n; ++i) {
+        carry += rx[static_cast<std::size_t>(i)];
+        if (rx[static_cast<std::size_t>(i)] != '\n') continue;
+        if (carry.compare(0, 4, "ERR\t") == 0) ++result.err_lines;
+        carry.clear();
+        ++result.responses;
+        result.latencies_us.push_back(latency_us);
+        --pending;
+      }
+    }
+    if (result.failed) break;
+  }
+  send_all(fd, "QUIT\n", 5);
+  ::close(fd);
+  return result;
+}
+
+double percentile(std::vector<double>& values, double p) {
+  if (values.empty()) return 0.0;
+  const std::size_t k = std::min(
+      values.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(values.size())));
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(k),
+                   values.end());
+  return values[k];
+}
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--connect") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      const std::string text = v;
+      const std::size_t colon = text.rfind(':');
+      if (colon == std::string::npos) return std::nullopt;
+      opt.connect_host = text.substr(0, colon);
+      if (opt.connect_host.size() >= 2 && opt.connect_host.front() == '[' &&
+          opt.connect_host.back() == ']')
+        opt.connect_host =
+            opt.connect_host.substr(1, opt.connect_host.size() - 2);
+      opt.connect_port =
+          static_cast<std::uint16_t>(std::atoi(text.c_str() + colon + 1));
+      if (opt.connect_port == 0) return std::nullopt;
+    } else if (a == "--queries") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.queries_path = v;
+    } else if (a == "--clients") {
+      const char* v = next();
+      if (!v || std::atol(v) < 1) return std::nullopt;
+      opt.clients = static_cast<std::size_t>(std::atol(v));
+    } else if (a == "--pipeline") {
+      const char* v = next();
+      if (!v || std::atol(v) < 1) return std::nullopt;
+      opt.pipeline = static_cast<std::size_t>(std::atol(v));
+    } else if (a == "--duration") {
+      const char* v = next();
+      if (!v || std::atof(v) <= 0) return std::nullopt;
+      opt.duration_s = std::atof(v);
+    } else if (a == "--min-qps") {
+      const char* v = next();
+      if (!v) return std::nullopt;
+      opt.min_qps = std::atof(v);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (opt.connect_port != 0 && opt.queries_path.empty()) return std::nullopt;
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<Options> parsed = parse_args(argc, argv);
+  if (!parsed) {
+    std::fprintf(stderr,
+                 "usage: bench_netserve [--connect HOST:PORT --queries FILE]\n"
+                 "                      [--clients M] [--pipeline D]\n"
+                 "                      [--duration SECONDS] [--min-qps N]\n");
+    return 1;
+  }
+  Options opt = *parsed;
+  const bool external = !opt.connect_host.empty();
+  if (opt.min_qps < 0) opt.min_qps = external ? 1.0 : 100'000.0;
+
+  benchutil::print_header("bench_netserve — TCP serving layer");
+
+  // ---- target: external server, or an in-process one -------------------
+  std::unique_ptr<serve::AnnotationStore> store;
+  std::unique_ptr<serve::Protocol> protocol;
+  std::unique_ptr<net::Server> server;
+  std::string host = opt.connect_host;
+  std::uint16_t port = opt.connect_port;
+  std::vector<std::string> queries;
+
+  if (external) {
+    std::ifstream in(opt.queries_path);
+    std::string line;
+    while (std::getline(in, line))
+      if (!line.empty() && line[0] != '#') queries.push_back(line);
+    if (queries.empty()) {
+      std::fprintf(stderr, "no queries in %s\n", opt.queries_path.c_str());
+      return 1;
+    }
+    std::printf("  target: %s:%u, %zu request lines\n", host.c_str(),
+                static_cast<unsigned>(port), queries.size());
+  } else {
+    eval::Scenario s = eval::make_scenario(topo::SimParams{}, 40, true, 8264);
+    const core::Result result = benchutil::run_bdrmapit(s);
+    serve::Snapshot snap = serve::snapshot_from_result(result);
+    store = std::make_unique<serve::AnnotationStore>(std::move(snap));
+    protocol = std::make_unique<serve::Protocol>(*store);
+
+    net::ServerConfig config;  // ephemeral port, hardware-sized loops
+    net::Server* server_raw = nullptr;
+    server = std::make_unique<net::Server>(
+        std::move(config),
+        [&proto = *protocol](std::string_view line, std::string& out) {
+          return proto.handle_line(line, out) ==
+                         serve::Protocol::Action::kQuit
+                     ? net::HandlerAction::kClose
+                     : net::HandlerAction::kContinue;
+        });
+    server_raw = server.get();
+    std::string error;
+    if (!server_raw->start(&error)) {
+      std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+      return 1;
+    }
+    host = "127.0.0.1";
+    port = server->port();
+
+    std::vector<netbase::IPAddr> addrs;
+    addrs.reserve(store->stats().interfaces);
+    for (const auto& rec : store->snapshot().interfaces)
+      addrs.push_back(rec.addr);
+    netbase::SplitMix64 rng(1);
+    for (std::size_t i = addrs.size(); i > 1; --i)
+      std::swap(addrs[i - 1], addrs[rng.below(i)]);
+    queries.reserve(addrs.size());
+    for (const auto& a : addrs) queries.push_back("IFACE " + a.to_string());
+    std::printf("  target: in-process server on 127.0.0.1:%u, %zu interfaces\n",
+                static_cast<unsigned>(port), queries.size());
+  }
+
+  // ---- drive it --------------------------------------------------------
+  std::printf("  load: %zu clients, pipeline depth %zu, %.1f s\n", opt.clients,
+              opt.pipeline, opt.duration_s);
+  const Clock::time_point t0 = Clock::now();
+  const Clock::time_point deadline =
+      t0 + std::chrono::duration_cast<Clock::duration>(
+               std::chrono::duration<double>(opt.duration_s));
+
+  std::vector<ClientResult> results(opt.clients);
+  std::vector<std::thread> threads;
+  threads.reserve(opt.clients);
+  for (std::size_t c = 0; c < opt.clients; ++c)
+    threads.emplace_back([&, c] {
+      results[c] = run_client(host, port, queries, opt.pipeline, deadline,
+                              c * 7919 + 1);
+    });
+  for (auto& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::uint64_t responses = 0;
+  std::uint64_t err_lines = 0;
+  bool any_failed = false;
+  std::vector<double> latencies;
+  for (auto& r : results) {
+    responses += r.responses;
+    err_lines += r.err_lines;
+    any_failed = any_failed || r.failed;
+    latencies.insert(latencies.end(), r.latencies_us.begin(),
+                     r.latencies_us.end());
+  }
+
+  const double qps = static_cast<double>(responses) / elapsed_s;
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+  std::printf("  throughput: %10.0f queries/sec (%llu replies in %.2f s)\n",
+              qps, static_cast<unsigned long long>(responses), elapsed_s);
+  std::printf("  latency:    p50 %.1f us, p99 %.1f us (pipelined)\n", p50, p99);
+  if (err_lines > 0)
+    std::printf("  ERR replies: %llu\n",
+                static_cast<unsigned long long>(err_lines));
+
+  if (server) server->shutdown();
+
+  bool ok = !any_failed && responses > 0 && qps >= opt.min_qps;
+  if (!external && err_lines > 0) ok = false;  // own queries must all hit
+  std::printf("  floor: >= %.0f queries/sec — %s\n", opt.min_qps,
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// Fuzz target: serve::Protocol request parsing and dispatch.
+//
+// The protocol layer promises that arbitrary request bytes never
+// crash the engine: malformed commands, truncated arguments, absurd
+// addresses/prefixes/ASNs, embedded NULs, and CRLF line endings all
+// render an ERR reply (or nothing, for comments and blanks) and the
+// session continues. The harness drives a Protocol over a tiny
+// hand-built in-memory snapshot — the same store both transports
+// share — and traps on three invariant violations:
+//
+//   * a reply that is non-empty but not newline-terminated (framing);
+//   * kQuit returned for a line that never mentions QUIT (dispatch);
+//   * two identical calls producing different bytes (determinism —
+//     the property the TCP-vs-stdin identity test builds on).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.hpp"
+#include "serve/store.hpp"
+
+namespace {
+
+serve::Snapshot tiny_snapshot() {
+  serve::Snapshot snap;
+  snap.iterations = 2;
+  snap.iteration_stats.resize(2);
+  snap.router_count = 3;
+
+  auto iface = [](const char* addr, std::uint32_t router_id,
+                  netbase::Asn router_as, netbase::Asn conn_as) {
+    serve::SnapshotIface rec;
+    rec.addr = netbase::IPAddr::must_parse(addr);
+    rec.router_id = router_id;
+    rec.inf.router_as = router_as;
+    rec.inf.conn_as = conn_as;
+    rec.inf.seen_non_echo = true;  // no E flag: plain TSV flags in replies
+    return rec;
+  };
+  // Strictly ascending by address (the audited snapshot invariant).
+  snap.interfaces.push_back(iface("10.0.0.1", 0, 65001, 65002));
+  snap.interfaces.push_back(iface("10.0.0.2", 0, 65001, netbase::kNoAs));
+  snap.interfaces.push_back(iface("10.0.1.1", 1, 65002, 65001));
+  snap.interfaces.push_back(iface("192.0.2.9", 2, 65003, netbase::kNoAs));
+  snap.as_links.emplace_back(65001, 65002);
+  return snap;
+}
+
+const serve::AnnotationStore& store() {
+  static const auto* instance = [] {
+    auto ptr = serve::AnnotationStore::open(tiny_snapshot());
+    if (!ptr) __builtin_trap();  // the seed image must audit cleanly
+    return ptr.release();
+  }();
+  return *instance;
+}
+
+void check_one(const serve::Protocol& protocol, std::string_view line) {
+  std::string out;
+  const serve::Protocol::Action action = protocol.handle_line(line, out);
+  if (!out.empty() && out.back() != '\n') __builtin_trap();
+  if (action == serve::Protocol::Action::kQuit &&
+      line.find("QUIT") == std::string_view::npos)
+    __builtin_trap();
+
+  std::string again;
+  if (protocol.handle_line(line, again) != action) __builtin_trap();
+  if (again != out) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  static const serve::Protocol protocol(store());
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // As the transports frame it: one call per newline-delimited line.
+  std::size_t start = 0;
+  while (start <= input.size()) {
+    const std::size_t nl = input.find('\n', start);
+    if (nl == std::string_view::npos) {
+      check_one(protocol, input.substr(start));
+      break;
+    }
+    check_one(protocol, input.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return 0;
+}

@@ -1,0 +1,197 @@
+#include "net/connection.hpp"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "net/server.hpp"
+
+namespace net {
+
+namespace {
+constexpr std::size_t kReadChunk = 64 * 1024;
+// Compact wbuf_ once the written prefix crosses this, instead of on
+// every flush, so steady pipelining does not memmove per syscall.
+constexpr std::size_t kCompactThreshold = 256 * 1024;
+}  // namespace
+
+Connection::Connection(Server& server, EventLoop& loop,
+                       std::size_t loop_index, int fd)
+    : server_(server),
+      loop_(loop),
+      loop_index_(loop_index),
+      fd_(fd),
+      last_active_(Clock::now()) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Connection::start() {
+  interest_ = EPOLLIN;
+  loop_.add_fd(fd_, interest_,
+               [this](std::uint32_t events) { on_events(events); });
+}
+
+void Connection::on_events(std::uint32_t events) {
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0 && (events & EPOLLIN) == 0) {
+    close();
+    return;
+  }
+  if ((events & EPOLLIN) != 0) {
+    on_readable();
+    if (closed()) return;
+  }
+  if ((events & EPOLLOUT) != 0) pump();
+}
+
+void Connection::on_readable() {
+  char buf[kReadChunk];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      server_.note_bytes_in(static_cast<std::size_t>(n));
+      rbuf_.append(buf, static_cast<std::size_t>(n));
+      last_active_ = Clock::now();
+      continue;
+    }
+    if (n == 0) {  // client finished its request stream; answer what is
+      eof_ = true;  // buffered (possibly the whole session), then close
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close();  // ECONNRESET and friends: nothing left to flush usefully
+    return;
+  }
+  pump();
+}
+
+void Connection::process_lines() {
+  while (!want_close_) {
+    if (outbound() > server_.config().max_write_buffer) {
+      paused_ = true;  // stop parsing until the client drains replies
+      return;
+    }
+    const std::size_t nl = rbuf_.find('\n', rpos_);
+    const std::size_t limit = server_.config().max_line_bytes;
+    if (nl == std::string::npos) {
+      if (rbuf_.size() - rpos_ > limit) {
+        wbuf_ += "ERR\tline-too-long\t" + std::to_string(limit) + "\n";
+        want_close_ = true;
+        rbuf_.clear();
+        rpos_ = 0;
+      } else if (eof_ && rpos_ < rbuf_.size()) {
+        // A final unterminated line: dispatch it, exactly as the stdin
+        // REPL's getline delivers a stream with no trailing newline.
+        const std::string_view line(rbuf_.data() + rpos_,
+                                    rbuf_.size() - rpos_);
+        rpos_ = rbuf_.size();
+        if (server_.dispatch(line, wbuf_) == HandlerAction::kClose)
+          want_close_ = true;
+      }
+      break;
+    }
+    if (nl - rpos_ > limit) {
+      wbuf_ += "ERR\tline-too-long\t" + std::to_string(limit) + "\n";
+      want_close_ = true;
+      break;
+    }
+    const std::string_view line(rbuf_.data() + rpos_, nl - rpos_);
+    rpos_ = nl + 1;
+    last_active_ = Clock::now();
+    if (server_.dispatch(line, wbuf_) == HandlerAction::kClose) {
+      want_close_ = true;  // QUIT: any pipelined requests behind it drop
+      break;
+    }
+  }
+  if (rpos_ == rbuf_.size() || want_close_) {
+    rbuf_.clear();
+    rpos_ = 0;
+  } else if (rpos_ > kCompactThreshold) {
+    rbuf_.erase(0, rpos_);
+    rpos_ = 0;
+  }
+}
+
+void Connection::flush() {
+  while (woff_ < wbuf_.size()) {
+    const ssize_t n = ::send(fd_, wbuf_.data() + woff_, wbuf_.size() - woff_,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      woff_ += static_cast<std::size_t>(n);
+      server_.note_bytes_out(static_cast<std::size_t>(n));
+      last_active_ = Clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    close();  // peer gone; replies are undeliverable
+    return;
+  }
+  if (woff_ == wbuf_.size()) {
+    wbuf_.clear();
+    woff_ = 0;
+  } else if (woff_ > kCompactThreshold) {
+    wbuf_.erase(0, woff_);
+    woff_ = 0;
+  }
+}
+
+void Connection::pump() {
+  for (;;) {
+    process_lines();
+    flush();
+    if (closed()) return;
+    // eof_ alone closes too, but only once parsing is not paused — a
+    // backpressured connection still owes replies for buffered input.
+    if (want_close_ || (eof_ && !paused_)) {
+      if (outbound() == 0) {
+        close();
+        return;
+      }
+      break;  // wait for EPOLLOUT to finish the flush
+    }
+    // Resume parsing once the client drained to the low-water mark;
+    // buffered pipelined requests must not wait for new socket input.
+    if (paused_ && outbound() <= server_.config().max_write_buffer / 2) {
+      paused_ = false;
+      continue;
+    }
+    break;
+  }
+  update_interest();
+}
+
+void Connection::update_interest() {
+  std::uint32_t want = 0;
+  if (!paused_ && !eof_ && !want_close_) want |= EPOLLIN;
+  if (outbound() > 0) want |= EPOLLOUT;
+  if (want != interest_) {
+    loop_.mod_fd(fd_, want);
+    interest_ = want;
+  }
+}
+
+void Connection::begin_drain() {
+  if (closed()) return;
+  want_close_ = true;
+  pump();
+}
+
+void Connection::check_idle(Clock::time_point now) {
+  if (closed()) return;
+  if (now - last_active_ >= server_.config().idle_timeout) close();
+}
+
+void Connection::close() {
+  if (fd_ < 0) return;
+  loop_.del_fd(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  server_.release(this, loop_index_);
+}
+
+}  // namespace net

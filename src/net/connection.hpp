@@ -1,0 +1,93 @@
+// net/connection.hpp — one client session on its worker loop.
+//
+// A Connection owns a non-blocking client socket and lives entirely on
+// one EventLoop thread; no lock guards its state. It implements the
+// line framing and flow-control rules of the serving layer:
+//
+//   * incremental reads — requests may arrive split across any number
+//     of TCP segments, or many pipelined requests in one segment;
+//   * bounded write queue with backpressure — when a client stops
+//     draining its responses, the connection stops *reading* (and thus
+//     stops parsing further pipelined requests) until the outbound
+//     buffer falls under half the cap, so one slow client cannot grow
+//     memory without bound;
+//   * per-line length cap — an unterminated or terminated line longer
+//     than max_line_bytes answers `ERR line-too-long` and ends the
+//     session;
+//   * idle timeout — the owning loop's tick sweeps connections that
+//     have neither sent nor received for idle_timeout;
+//   * graceful teardown — QUIT, EOF, and server drain all flush every
+//     queued reply byte before the socket closes.
+//
+// Lifecycle discipline: close() unregisters and closes the fd
+// immediately but defers object destruction through Server::release,
+// which posts the erase to the owning loop — so a Connection is never
+// destroyed while one of its own frames is on the stack.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "net/event_loop.hpp"
+
+namespace net {
+
+class Server;
+
+class Connection {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Connection(Server& server, EventLoop& loop, std::size_t loop_index, int fd);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const noexcept { return fd_; }
+  bool closed() const noexcept { return fd_ < 0; }
+
+  /// Registers with the loop and starts reading. Loop thread only.
+  void start();
+
+  /// Server drain: stop reading, flush queued replies, then close.
+  void begin_drain();
+
+  /// Idle sweep hook, called from the loop tick.
+  void check_idle(Clock::time_point now);
+
+ private:
+  void on_events(std::uint32_t events);
+  void on_readable();
+  /// Parses complete lines out of rbuf_ and dispatches them, stopping
+  /// early on backpressure, QUIT, or a framing violation.
+  void process_lines();
+  /// Writes as much of wbuf_ as the socket accepts.
+  void flush();
+  /// process → flush → resume cycle; settles interest or closes.
+  void pump();
+  void update_interest();
+  void close();
+
+  std::size_t outbound() const noexcept { return wbuf_.size() - woff_; }
+
+  Server& server_;
+  EventLoop& loop_;
+  const std::size_t loop_index_;
+  int fd_;
+
+  std::string rbuf_;       ///< unparsed request bytes
+  std::size_t rpos_ = 0;   ///< start of the first unparsed line
+  std::string wbuf_;       ///< queued reply bytes
+  std::size_t woff_ = 0;   ///< already-written prefix of wbuf_
+  std::uint32_t interest_ = 0;  ///< current epoll mask
+
+  bool paused_ = false;      ///< reading stopped by backpressure
+  bool eof_ = false;         ///< client half-closed
+  bool want_close_ = false;  ///< flush remaining replies, then close
+  Clock::time_point last_active_;
+};
+
+}  // namespace net

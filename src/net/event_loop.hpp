@@ -1,0 +1,83 @@
+// net/event_loop.hpp — one epoll-driven reactor thread.
+//
+// An EventLoop multiplexes non-blocking file descriptors on a single
+// thread: callers register an fd with an interest mask and a callback,
+// and run() dispatches kernel readiness events to the callbacks until
+// stop() is called. Cross-thread work enters through post(), which
+// enqueues a task and wakes the loop via an eventfd; everything else
+// (add_fd/mod_fd/del_fd and the callbacks themselves) must happen on
+// the loop thread, or before run() starts.
+//
+// A periodic tick (set_tick) drives time-based housekeeping — idle
+// sweeps and drain checks in net::Server — without per-connection
+// timer fds. Level-triggered epoll keeps the dispatch logic simple:
+// a callback that does not consume its readiness is simply called
+// again on the next iteration.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace net {
+
+class EventLoop {
+ public:
+  using FdCallback = std::function<void(std::uint32_t events)>;
+
+  /// Creates the epoll instance and wakeup eventfd. Throws
+  /// std::runtime_error if either kernel object cannot be created.
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` with interest `events` (EPOLLIN/EPOLLOUT/...).
+  /// Loop-thread only (or before run()).
+  void add_fd(int fd, std::uint32_t events, FdCallback cb);
+
+  /// Changes the interest mask of a registered fd. Loop-thread only.
+  void mod_fd(int fd, std::uint32_t events);
+
+  /// Unregisters `fd`. Pending readiness events already harvested for
+  /// it in the current iteration are discarded. Loop-thread only.
+  void del_fd(int fd);
+
+  /// Enqueues `fn` to run on the loop thread after the current event
+  /// batch. Thread-safe; wakes a sleeping loop.
+  void post(std::function<void()> fn);
+
+  /// Installs a periodic callback, fired roughly every `period` while
+  /// the loop runs. Call before run().
+  void set_tick(std::chrono::milliseconds period, std::function<void()> fn);
+
+  /// Dispatches events until stop(). Runs posted tasks after each
+  /// event batch and the tick when due.
+  void run();
+
+  /// Asks run() to return after the current iteration. Thread-safe.
+  void stop() noexcept;
+
+ private:
+  void wake() noexcept;
+  void run_pending();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_flag_{false};
+
+  std::mutex mu_;  ///< guards pending_
+  std::vector<std::function<void()>> pending_;
+
+  std::unordered_map<int, FdCallback> fds_;  ///< loop-thread only
+  std::chrono::milliseconds tick_period_{0};
+  std::function<void()> tick_;
+};
+
+}  // namespace net

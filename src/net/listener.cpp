@@ -1,0 +1,104 @@
+#include "net/listener.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace net {
+
+namespace {
+
+std::string errno_string() { return std::strerror(errno); }
+
+}  // namespace
+
+std::unique_ptr<Listener> Listener::open(const std::string& host,
+                                         std::uint16_t port,
+                                         std::string* error) {
+  sockaddr_storage addr{};
+  socklen_t addr_len = 0;
+  int family = AF_UNSPEC;
+
+  in_addr v4{};
+  in6_addr v6{};
+  if (::inet_pton(AF_INET, host.c_str(), &v4) == 1) {
+    auto* sa = reinterpret_cast<sockaddr_in*>(&addr);
+    sa->sin_family = AF_INET;
+    sa->sin_addr = v4;
+    sa->sin_port = htons(port);
+    addr_len = sizeof(sockaddr_in);
+    family = AF_INET;
+  } else if (::inet_pton(AF_INET6, host.c_str(), &v6) == 1) {
+    auto* sa = reinterpret_cast<sockaddr_in6*>(&addr);
+    sa->sin6_family = AF_INET6;
+    sa->sin6_addr = v6;
+    sa->sin6_port = htons(port);
+    addr_len = sizeof(sockaddr_in6);
+    family = AF_INET6;
+  } else {
+    if (error) *error = "malformed listen address '" + host + "'";
+    return nullptr;
+  }
+
+  const int fd =
+      ::socket(family, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    if (error) *error = "socket: " + errno_string();
+    return nullptr;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), addr_len) != 0) {
+    if (error)
+      *error = "bind " + host + ":" + std::to_string(port) + ": " +
+               errno_string();
+    ::close(fd);
+    return nullptr;
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    if (error) *error = "listen: " + errno_string();
+    ::close(fd);
+    return nullptr;
+  }
+
+  // Recover the kernel's port choice when the caller asked for port 0.
+  std::uint16_t bound = port;
+  sockaddr_storage local{};
+  socklen_t local_len = sizeof local;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&local), &local_len) == 0) {
+    if (local.ss_family == AF_INET)
+      bound = ntohs(reinterpret_cast<const sockaddr_in*>(&local)->sin_port);
+    else if (local.ss_family == AF_INET6)
+      bound = ntohs(reinterpret_cast<const sockaddr_in6*>(&local)->sin6_port);
+  }
+
+  return std::unique_ptr<Listener>(new Listener(fd, bound));
+}
+
+Listener::~Listener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+int Listener::accept_one(bool* exhausted) noexcept {
+  *exhausted = false;
+  for (;;) {
+    const int cfd = ::accept4(fd_, nullptr, nullptr,
+                              SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd >= 0) {
+      const int one = 1;
+      ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return cfd;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) *exhausted = true;
+    return -1;
+  }
+}
+
+}  // namespace net

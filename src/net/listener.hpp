@@ -1,0 +1,49 @@
+// net/listener.hpp — a bound, non-blocking TCP listening socket.
+//
+// Listener::open resolves a numeric host (IPv4 dotted quad or IPv6),
+// binds, and listens; port 0 asks the kernel for an ephemeral port and
+// port() reports the one actually bound (how the tests and the
+// self-contained bench get a free port). All failure modes — malformed
+// host, socket/bind/listen errors, port already in use — come back as
+// nullptr with a one-line diagnostic in *error, which bdrmapit_serve
+// forwards verbatim under its distinct listen-failure exit code.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace net {
+
+class Listener {
+ public:
+  /// Binds `host:port` (numeric host only) and starts listening
+  /// non-blocking. Returns nullptr with `*error` describing the
+  /// failure (bad address, bind/listen errno) otherwise.
+  static std::unique_ptr<Listener> open(const std::string& host,
+                                        std::uint16_t port, std::string* error);
+
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  int fd() const noexcept { return fd_; }
+
+  /// The port actually bound (resolves port 0 to the kernel's pick).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Accepts one pending connection as a non-blocking socket. Returns
+  /// the new fd, or -1 with `*exhausted` true when no connection is
+  /// pending (EAGAIN) and -1 with `*exhausted` false on a transient
+  /// accept error (the caller should simply retry later).
+  int accept_one(bool* exhausted) noexcept;
+
+ private:
+  Listener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace net

@@ -1,0 +1,196 @@
+#include "net/server.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
+
+namespace net {
+
+Server::Server(ServerConfig config, Handler handler)
+    : config_(std::move(config)), handler_(std::move(handler)) {}
+
+Server::~Server() {
+  if (started_ && !joined_) shutdown();
+  if (shutdown_fd_ >= 0) ::close(shutdown_fd_);
+}
+
+bool Server::start(std::string* error) {
+  listener_ = Listener::open(config_.host, config_.port, error);
+  if (!listener_) return false;
+
+  shutdown_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (shutdown_fd_ < 0) {
+    if (error) *error = "eventfd: shutdown channel unavailable";
+    listener_.reset();
+    return false;
+  }
+
+  const unsigned n_loops = parallel::resolve_threads(config_.threads);
+  loops_.reserve(n_loops);
+  for (unsigned i = 0; i < n_loops; ++i)
+    loops_.push_back(std::make_unique<LoopState>());
+
+  // Loop 0 is the acceptor: it owns the listening socket and the
+  // shutdown eventfd alongside its share of connections.
+  loops_[0]->loop.add_fd(listener_->fd(), EPOLLIN,
+                         [this](std::uint32_t) { on_acceptable(); });
+  loops_[0]->loop.add_fd(shutdown_fd_, EPOLLIN, [this](std::uint32_t) {
+    std::uint64_t drained = 0;
+    [[maybe_unused]] const ssize_t r =
+        ::read(shutdown_fd_, &drained, sizeof drained);
+    begin_shutdown();
+  });
+
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    LoopState& state = *loops_[i];
+    state.loop.set_tick(config_.tick_period, [this, &state, i] {
+      const Connection::Clock::time_point now = Connection::Clock::now();
+      // check_idle may close a connection, but destruction is deferred
+      // through release(), so iterating the live map here is safe.
+      for (auto& [conn, owned] : state.conns) conn->check_idle(now);
+      maybe_stop_loop(i);
+    });
+    state.thread = std::thread([&state, i] {
+      parallel::set_current_thread_name(
+          ("net-loop-" + std::to_string(i)).c_str());
+      state.loop.run();
+    });
+  }
+  started_ = true;
+  return true;
+}
+
+std::uint16_t Server::port() const noexcept {
+  return listener_ ? listener_->port() : bound_port_;
+}
+
+void Server::on_acceptable() {
+  for (;;) {
+    bool exhausted = false;
+    const int cfd = listener_ ? listener_->accept_one(&exhausted) : -1;
+    if (cfd < 0) return;  // exhausted or transient error: epoll re-arms
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+
+    if (draining_.load(std::memory_order_relaxed) ||
+        active_.load(std::memory_order_relaxed) >= config_.max_connections) {
+      shed(cfd);
+      continue;
+    }
+    active_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t idx = next_loop_++ % loops_.size();
+    LoopState& state = *loops_[idx];
+    // Registration must happen on the owning loop's thread; hand the
+    // raw fd across and build the Connection there.
+    state.loop.post([this, &state, idx, cfd] {
+      auto conn = std::make_unique<Connection>(*this, state.loop, idx, cfd);
+      Connection* raw = conn.get();
+      state.conns.emplace(raw, std::move(conn));
+      raw->start();
+    });
+  }
+}
+
+void Server::shed(int fd) {
+  static constexpr char kReply[] = "ERR\toverloaded\n";
+  // Count before the close: once the client observes EOF, NETSTATS
+  // must already include this shed.
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  // Best effort: a client racing into an overloaded server may miss
+  // the diagnostic if its socket buffer is already full.
+  const ssize_t n = ::send(fd, kReply, sizeof kReply - 1, MSG_NOSIGNAL);
+  if (n > 0) bytes_out_.fetch_add(static_cast<std::uint64_t>(n),
+                                  std::memory_order_relaxed);
+  ::close(fd);
+}
+
+void Server::begin_shutdown() {
+  if (draining_.exchange(true, std::memory_order_relaxed)) return;
+  bound_port_ = listener_ ? listener_->port() : 0;
+  if (listener_) {
+    loops_[0]->loop.del_fd(listener_->fd());
+    listener_.reset();  // closes the socket: no new connections
+  }
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    LoopState& state = *loops_[i];
+    state.loop.post([this, &state, i] {
+      // Snapshot first: begin_drain may close and release, and release
+      // mutates state.conns via a deferred task.
+      std::vector<Connection*> conns;
+      conns.reserve(state.conns.size());
+      for (auto& [conn, owned] : state.conns) conns.push_back(conn);
+      for (Connection* conn : conns) conn->begin_drain();
+      maybe_stop_loop(i);
+    });
+  }
+}
+
+void Server::maybe_stop_loop(std::size_t loop_index) {
+  LoopState& state = *loops_[loop_index];
+  if (draining_.load(std::memory_order_relaxed) && state.conns.empty())
+    state.loop.stop();
+}
+
+void Server::request_shutdown() noexcept {
+  if (shutdown_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  // write(2) is async-signal-safe; this is the whole point of routing
+  // shutdown through an eventfd instead of calling into the loops.
+  [[maybe_unused]] const ssize_t n = ::write(shutdown_fd_, &one, sizeof one);
+}
+
+void Server::wait() {
+  if (joined_) return;
+  for (auto& state : loops_)
+    if (state->thread.joinable()) state->thread.join();
+  joined_ = true;
+}
+
+void Server::shutdown() {
+  request_shutdown();
+  wait();
+}
+
+ServerStats Server::stats() const noexcept {
+  ServerStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.active = active_.load(std::memory_order_relaxed);
+  s.closed = closed_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  return s;
+}
+
+HandlerAction Server::dispatch(std::string_view line, std::string& out) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  return handler_(line, out);
+}
+
+void Server::note_bytes_in(std::size_t n) noexcept {
+  bytes_in_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void Server::note_bytes_out(std::size_t n) noexcept {
+  bytes_out_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void Server::release(Connection* conn, std::size_t loop_index) {
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  closed_.fetch_add(1, std::memory_order_relaxed);
+  LoopState& state = *loops_[loop_index];
+  // The caller may still be inside one of conn's member functions;
+  // destroy it only once the loop unwinds to its task queue.
+  state.loop.post([this, &state, conn, loop_index] {
+    state.conns.erase(conn);
+    maybe_stop_loop(loop_index);
+  });
+}
+
+}  // namespace net

@@ -1,0 +1,144 @@
+// net/server.hpp — epoll-based multi-threaded TCP serving front-end.
+//
+// Server binds one listening socket and runs `threads` EventLoops,
+// each on its own thread (the same `--threads` sizing convention as
+// parallel::resolve_threads: <= 0 means hardware concurrency). Loop 0
+// doubles as the acceptor: accepted sockets are handed round-robin to
+// the loops, and every subsequent event for a connection stays on its
+// loop — connections never migrate, so their state needs no locks.
+//
+// The server is transport only. Application behaviour enters through
+// a Handler invoked once per complete request line; whatever the
+// handler appends to `out` is queued verbatim to the client. The
+// bdrmapit serving stack passes serve::Protocol::handle_line, which is
+// the same code the stdin REPL runs — byte-identical replies on both
+// transports.
+//
+// Overload and teardown semantics (details in docs/SERVING.md):
+//   * beyond max_connections, new clients get one `ERR overloaded`
+//     line and an immediate close (counted in stats().shed);
+//   * request_shutdown() is async-signal-safe (an eventfd write) and
+//     starts a graceful drain: stop accepting, flush every queued
+//     reply, close, then the loop threads exit — wait() joins them.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/connection.hpp"
+#include "net/event_loop.hpp"
+#include "net/listener.hpp"
+
+namespace net {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0: kernel-assigned; see Server::port()
+  int threads = 0;         ///< event loops; <= 0 means hardware concurrency
+  std::size_t max_connections = 4096;     ///< beyond this, shed
+  std::size_t max_line_bytes = 1 << 16;   ///< per-request-line cap
+  std::size_t max_write_buffer = 4u << 20;  ///< pause reading above this
+  std::chrono::milliseconds idle_timeout{300'000};
+  std::chrono::milliseconds tick_period{1'000};  ///< idle/drain sweep cadence
+};
+
+/// Live counters, readable from any thread (NETSTATS renders these).
+struct ServerStats {
+  std::uint64_t accepted = 0;  ///< sockets accepted, including shed ones
+  std::uint64_t active = 0;    ///< connections currently in service
+  std::uint64_t closed = 0;    ///< served connections since closed
+  std::uint64_t shed = 0;      ///< closed immediately with ERR overloaded
+  std::uint64_t requests = 0;  ///< request lines dispatched
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+};
+
+/// What the server should do with the connection after a request.
+enum class HandlerAction { kContinue, kClose };
+
+class Server {
+ public:
+  /// Called once per complete request line (newline stripped); reply
+  /// bytes are appended to `out`. Must be safe to call concurrently
+  /// from every loop thread.
+  using Handler =
+      std::function<HandlerAction(std::string_view line, std::string& out)>;
+
+  Server(ServerConfig config, Handler handler);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listener and starts the loop threads. Returns false
+  /// with a one-line diagnostic in `*error` (malformed address, port
+  /// in use, ...) without spawning anything.
+  bool start(std::string* error);
+
+  /// The bound port (meaningful after start(); resolves port 0).
+  std::uint16_t port() const noexcept;
+
+  /// Starts a graceful drain. Async-signal-safe: only writes the
+  /// shutdown eventfd. Idempotent.
+  void request_shutdown() noexcept;
+
+  /// Blocks until every loop thread has exited (after a drain).
+  void wait();
+
+  /// request_shutdown() + wait(). For non-signal callers.
+  void shutdown();
+
+  ServerStats stats() const noexcept;
+
+  const ServerConfig& config() const noexcept { return config_; }
+
+  // ---- used by Connection (internal to src/net) ----------------------
+  HandlerAction dispatch(std::string_view line, std::string& out);
+  void note_bytes_in(std::size_t n) noexcept;
+  void note_bytes_out(std::size_t n) noexcept;
+  /// Defers destruction of a closed connection to its loop's task
+  /// queue and accounts the close.
+  void release(Connection* conn, std::size_t loop_index);
+
+ private:
+  struct LoopState {
+    EventLoop loop;
+    std::thread thread;
+    std::unordered_map<Connection*, std::unique_ptr<Connection>> conns;
+  };
+
+  void on_acceptable();
+  void shed(int fd);
+  void begin_shutdown();
+  void maybe_stop_loop(std::size_t loop_index);
+
+  ServerConfig config_;
+  Handler handler_;
+  std::unique_ptr<Listener> listener_;
+  std::uint16_t bound_port_ = 0;  ///< preserved across listener teardown
+  std::vector<std::unique_ptr<LoopState>> loops_;
+  int shutdown_fd_ = -1;
+  std::size_t next_loop_ = 0;  ///< acceptor-thread only (round robin)
+  std::atomic<bool> draining_{false};
+  bool started_ = false;
+  bool joined_ = false;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> active_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+};
+
+}  // namespace net

@@ -1,6 +1,11 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstring>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
 
 namespace parallel {
 
@@ -12,6 +17,17 @@ unsigned hardware_threads() noexcept {
 unsigned resolve_threads(int requested) noexcept {
   if (requested <= 0) return hardware_threads();
   return static_cast<unsigned>(requested);
+}
+
+void set_current_thread_name(const char* name) noexcept {
+#if defined(__linux__)
+  char truncated[16];
+  std::strncpy(truncated, name, sizeof truncated - 1);
+  truncated[sizeof truncated - 1] = '\0';
+  pthread_setname_np(pthread_self(), truncated);
+#else
+  (void)name;
+#endif
 }
 
 ThreadPool& ThreadPool::shared() {
@@ -33,7 +49,11 @@ void ThreadPool::ensure_workers_locked(unsigned n) {
   // still works (the OS time-slices), but an absurd --threads value must
   // not spawn thousands of threads.
   n = std::min(n, 256u);
-  while (workers_.size() < n) workers_.emplace_back([this] { worker_loop(); });
+  while (workers_.size() < n)
+    workers_.emplace_back([this] {
+      set_current_thread_name("bmit-pool");
+      worker_loop();
+    });
 }
 
 void ThreadPool::run(std::size_t tasks, unsigned threads,

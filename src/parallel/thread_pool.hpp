@@ -37,8 +37,15 @@ unsigned hardware_threads() noexcept;
 
 /// Maps a user-facing thread-count knob to an executor count:
 /// `requested <= 0` means "auto" (hardware_threads()); anything else is
-/// used as given. The result is never less than 1.
+/// used as given. The result is never less than 1. Shared by every
+/// `--threads` knob in the tree (pipeline shards, audit scans, and the
+/// net::Server event loops) so one convention sizes them all.
 unsigned resolve_threads(int requested) noexcept;
+
+/// Best-effort name for the calling thread (truncated to the kernel's
+/// 15-char limit), so pool workers and net loops are tellable apart in
+/// debuggers, /proc, and profiler output. Never fails visibly.
+void set_current_thread_name(const char* name) noexcept;
 
 /// A reusable pool of worker threads. Jobs are arrays of task indices
 /// claimed under a mutex; the submitting thread participates as one of

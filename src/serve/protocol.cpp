@@ -1,0 +1,191 @@
+#include "serve/protocol.hpp"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "netbase/asn.hpp"
+#include "netbase/ip_addr.hpp"
+#include "netbase/prefix.hpp"
+
+namespace serve {
+
+namespace {
+
+void append_iface(std::string& out, const SnapshotIface& rec) {
+  out += rec.addr.to_string();
+  out += '\t';
+  out += std::to_string(rec.inf.router_as);
+  out += '\t';
+  out += std::to_string(rec.inf.conn_as);
+  out += '\t';
+  out += rec.inf.flags();
+  out += '\n';
+}
+
+void append_err(std::string& out, std::string_view reason,
+                std::string_view detail) {
+  out += "ERR\t";
+  out += reason;
+  if (!detail.empty()) {
+    out += '\t';
+    out += detail;
+  }
+  out += '\n';
+}
+
+void append_end(std::string& out, std::size_t count) {
+  out += "END\t";
+  out += std::to_string(count);
+  out += '\n';
+}
+
+}  // namespace
+
+Protocol::Action Protocol::handle_line(std::string_view line,
+                                       std::string& out) const {
+  // Tolerate CRLF framing from interactive TCP clients (telnet, nc -C):
+  // one trailing CR is part of the line terminator, not the request.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+  std::istringstream ss{std::string(line)};
+  std::string cmd;
+  ss >> cmd;
+  if (cmd.empty() || cmd[0] == '#') return Action::kContinue;
+
+  if (cmd == "QUIT") return Action::kQuit;
+
+  if (cmd == "IFACE") {
+    std::vector<netbase::IPAddr> addrs;
+    std::vector<std::string> raw;
+    std::string tok;
+    while (ss >> tok) {
+      const auto a = netbase::IPAddr::parse(tok);
+      if (!a) {
+        append_err(out, "bad-address", tok);
+        return Action::kContinue;
+      }
+      addrs.push_back(*a);
+      raw.push_back(tok);
+    }
+    if (addrs.empty()) {
+      append_err(out, "missing-argument", "IFACE");
+      return Action::kContinue;
+    }
+    const auto recs = store_.find_batch(addrs);
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      if (recs[i])
+        append_iface(out, *recs[i]);
+      else
+        append_err(out, "not-found", raw[i]);
+    }
+  } else if (cmd == "PREFIX") {
+    std::string tok;
+    if (!(ss >> tok)) {
+      append_err(out, "missing-argument", "PREFIX");
+      return Action::kContinue;
+    }
+    const auto p = netbase::Prefix::parse(tok);
+    if (!p) {
+      append_err(out, "bad-prefix", tok);
+      return Action::kContinue;
+    }
+    const auto recs = store_.find_under(*p);
+    for (const auto* rec : recs) append_iface(out, *rec);
+    append_end(out, recs.size());
+  } else if (cmd == "LINKS") {
+    std::string tok;
+    if (!(ss >> tok)) {
+      append_err(out, "missing-argument", "LINKS");
+      return Action::kContinue;
+    }
+    const auto asn = netbase::parse_asn(tok);
+    if (!asn) {
+      append_err(out, "bad-asn", tok);
+      return Action::kContinue;
+    }
+    const auto& links = store_.links_of(*asn);
+    for (const auto& [a, b] : links) {
+      out += std::to_string(a);
+      out += '\t';
+      out += std::to_string(b);
+      out += '\n';
+    }
+    append_end(out, links.size());
+  } else if (cmd == "ROUTER") {
+    std::string tok;
+    if (!(ss >> tok)) {
+      append_err(out, "missing-argument", "ROUTER");
+      return Action::kContinue;
+    }
+    const auto a = netbase::IPAddr::parse(tok);
+    if (!a) {
+      append_err(out, "bad-address", tok);
+      return Action::kContinue;
+    }
+    const auto* rec = store_.find(*a);
+    if (!rec) {
+      append_err(out, "not-found", tok);
+      return Action::kContinue;
+    }
+    // Aliases of one router are contiguous nowhere, so scan; router
+    // fan-out is tiny compared to the table.
+    std::size_t count = 0;
+    for (const auto& other : store_.snapshot().interfaces) {
+      if (other.router_id != rec->router_id) continue;
+      append_iface(out, other);
+      ++count;
+    }
+    append_end(out, count);
+  } else if (cmd == "COUNT") {
+    std::string tok;
+    if (!(ss >> tok)) {
+      append_err(out, "missing-argument", "COUNT");
+      return Action::kContinue;
+    }
+    const auto asn = netbase::parse_asn(tok);
+    if (!asn) {
+      append_err(out, "bad-asn", tok);
+      return Action::kContinue;
+    }
+    out += std::to_string(*asn);
+    out += '\t';
+    out += std::to_string(store_.iface_count_of(*asn));
+    out += '\n';
+  } else if (cmd == "STATS") {
+    const StoreStats st = store_.stats();
+    const std::pair<const char*, std::uint64_t> rows[] = {
+        {"interfaces", st.interfaces},
+        {"routers", st.routers},
+        {"border_interfaces", st.border_interfaces},
+        {"as_links", st.as_links},
+        {"ases", st.ases},
+        {"iterations", st.iterations},
+    };
+    for (const auto& [key, value] : rows) {
+      out += key;
+      out += '\t';
+      out += std::to_string(value);
+      out += '\n';
+    }
+    append_end(out, std::size(rows));
+  } else if (cmd == "NETSTATS") {
+    if (!netstats_) {
+      append_err(out, "not-listening", "NETSTATS");
+      return Action::kContinue;
+    }
+    const NetStats rows = netstats_();
+    for (const auto& [key, value] : rows) {
+      out += key;
+      out += '\t';
+      out += std::to_string(value);
+      out += '\n';
+    }
+    append_end(out, rows.size());
+  } else {
+    append_err(out, "unknown-command", cmd);
+  }
+  return Action::kContinue;
+}
+
+}  // namespace serve

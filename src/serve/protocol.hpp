@@ -1,0 +1,59 @@
+// serve/protocol.hpp — the query protocol, independent of transport.
+//
+// Protocol owns request framing, command dispatch, and response
+// rendering for the bdrmapit_serve query language (IFACE, PREFIX,
+// LINKS, ROUTER, COUNT, STATS, NETSTATS, QUIT — grammar in
+// docs/SERVING.md). Both front-ends drive it: the stdin REPL in
+// apps/bdrmapit_serve.cpp and the TCP path in src/net/ execute this
+// exact code, so the two transports answer any request stream with
+// byte-identical replies.
+//
+// handle_line is const and touches only read-only AnnotationStore
+// indexes, so one Protocol instance may be shared by any number of
+// threads (the net::Server worker loops all call into one).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "serve/store.hpp"
+
+namespace serve {
+
+class Protocol {
+ public:
+  /// What the transport should do after a request line is handled.
+  enum class Action {
+    kContinue,  ///< keep reading requests
+    kQuit,      ///< client asked to end the session (QUIT)
+  };
+
+  /// NETSTATS rows, in reply order. The TCP server wires its live
+  /// counters in through this; the stdin REPL leaves it unset and
+  /// NETSTATS answers `ERR not-listening`.
+  using NetStats = std::vector<std::pair<std::string, std::uint64_t>>;
+  using NetStatsFn = std::function<NetStats()>;
+
+  explicit Protocol(const AnnotationStore& store, NetStatsFn netstats = {})
+      : store_(store), netstats_(std::move(netstats)) {}
+
+  /// Handles one request line (without its trailing newline; one
+  /// trailing CR is tolerated for CRLF clients) and appends zero or
+  /// more complete reply lines to `out`. Empty lines and `#` comments
+  /// produce no reply. Never throws on malformed input — bad requests
+  /// render an `ERR` reply and the session continues.
+  Action handle_line(std::string_view line, std::string& out) const;
+
+  const AnnotationStore& store() const noexcept { return store_; }
+
+ private:
+  const AnnotationStore& store_;
+  NetStatsFn netstats_;
+};
+
+}  // namespace serve

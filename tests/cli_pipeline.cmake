@@ -158,6 +158,23 @@ foreach(nthreads 1 4)
   endforeach()
 endforeach()
 
+# Malformed --listen values must exit 3 with a one-line diagnostic,
+# before the snapshot is even loaded (docs/SERVING.md exit codes).
+foreach(bad "nohost" "127.0.0.1" "127.0.0.1:0" "127.0.0.1:99999" ":8264" "[::1]")
+  execute_process(COMMAND ${SERVE} --snapshot ${OUT}/map.snap
+                  --listen "${bad}" --quiet
+                  OUTPUT_QUIET
+                  ERROR_FILE ${OUT}/listen_err.txt
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 3)
+    message(FATAL_ERROR "bdrmapit_serve exit ${rc} (want 3) for --listen '${bad}'")
+  endif()
+  file(READ ${OUT}/listen_err.txt err_text)
+  if(NOT err_text MATCHES "malformed address")
+    message(FATAL_ERROR "no listen diagnostic for '${bad}': ${err_text}")
+  endif()
+endforeach()
+
 # Invalid --threads values must be rejected up front.
 foreach(bad 0 -2 four "")
   execute_process(COMMAND ${CLI}
