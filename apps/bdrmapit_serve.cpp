@@ -4,6 +4,7 @@
 //                  [--audit | --no-audit]
 //                  [--listen ADDR:PORT] [--max-conns N]
 //                  [--idle-timeout SECONDS]
+//                  [--bulk | --no-bulk] [--rate-limit N [--rate-burst N]]
 //
 // Loads a snapshot written by `bdrmapit_cli --snapshot-out` and
 // answers queries — by default on stdin (one request per line, replies
@@ -25,6 +26,15 @@
 // `--threads N` is the one concurrency knob: it shards the audit scans
 // and sizes the TCP event loops (<= 0 picks hardware concurrency).
 //
+// The TCP transport also speaks the binary BULK lookup protocol
+// (serve/bulk.hpp, docs/SERVING.md): frames starting with the 0xBD
+// magic answer up to 64 Ki packed addresses in one fixed-width
+// response frame. On by default; `--no-bulk` restricts the stream to
+// text lines. `--rate-limit N` enforces a per-connection token bucket
+// of N requests/sec (burst `--rate-burst`, default max(N, 1)); an
+// over-limit request answers `ERR rate-limited` (text) or an error
+// frame (bulk) and the connection closes.
+//
 // Exit codes: 0 clean (end of stdin, QUIT, or drained SIGTERM/SIGINT),
 // 1 usage error, 2 unreadable/corrupt/invariant-violating snapshot,
 // 3 listen failure (malformed ADDR:PORT, port already bound, ...).
@@ -38,6 +48,7 @@
 #include <vector>
 
 #include "net/server.hpp"
+#include "serve/bulk_transport.hpp"
 #include "serve/protocol.hpp"
 #include "serve/store.hpp"
 
@@ -48,7 +59,9 @@ void usage(const char* argv0) {
                "usage: %s --snapshot FILE [--quiet] [--threads N] "
                "[--audit|--no-audit]\n"
                "       [--listen ADDR:PORT] [--max-conns N] "
-               "[--idle-timeout SECONDS]\n",
+               "[--idle-timeout SECONDS]\n"
+               "       [--bulk|--no-bulk] [--rate-limit N] "
+               "[--rate-burst N]\n",
                argv0);
 }
 
@@ -98,16 +111,30 @@ int run_stdin(const serve::AnnotationStore& store) {
   return 0;
 }
 
+struct ListenOptions {
+  int threads = 1;
+  std::size_t max_conns = 4096;
+  long idle_timeout_s = 300;
+  bool bulk = true;
+  double rate_limit = 0;
+  double rate_burst = 0;
+};
+
 int run_listen(const serve::AnnotationStore& store, const ListenAddr& addr,
-               int threads, std::size_t max_conns, long idle_timeout_s,
-               bool quiet) {
+               const ListenOptions& opt, bool quiet) {
   net::ServerConfig config;
   config.host = addr.host;
   config.port = addr.port;
-  config.threads = threads;
-  config.max_connections = max_conns;
-  if (idle_timeout_s > 0)
-    config.idle_timeout = std::chrono::seconds(idle_timeout_s);
+  config.threads = opt.threads;
+  config.max_connections = opt.max_conns;
+  if (opt.idle_timeout_s > 0)
+    config.idle_timeout = std::chrono::seconds(opt.idle_timeout_s);
+  config.rate_limit = opt.rate_limit;
+  config.rate_burst = opt.rate_burst;
+  if (opt.bulk) {
+    config.binary_magic = serve::bulk::kMagic;
+    config.rate_limited_frame = serve::bulk::rate_limited_frame(opt.rate_limit);
+  }
 
   // The Protocol is shared by every worker loop; its NETSTATS hook
   // reads the server's atomic counters, wired up after construction.
@@ -115,10 +142,11 @@ int run_listen(const serve::AnnotationStore& store, const ListenAddr& addr,
   const serve::Protocol protocol(store, [&server_ptr] {
     const net::ServerStats st = server_ptr->stats();
     return serve::Protocol::NetStats{
-        {"accepted", st.accepted},   {"active", st.active},
-        {"closed", st.closed},       {"shed", st.shed},
-        {"requests", st.requests},   {"bytes_in", st.bytes_in},
-        {"bytes_out", st.bytes_out},
+        {"accepted", st.accepted},     {"active", st.active},
+        {"closed", st.closed},         {"shed", st.shed},
+        {"requests", st.requests},     {"bytes_in", st.bytes_in},
+        {"bytes_out", st.bytes_out},   {"rate_limited", st.rate_limited},
+        {"bulk_frames", st.frames},    {"bulk_addrs", st.frame_units},
     };
   });
   net::Server server(
@@ -128,7 +156,9 @@ int run_listen(const serve::AnnotationStore& store, const ListenAddr& addr,
                        serve::Protocol::Action::kQuit
                    ? net::HandlerAction::kClose
                    : net::HandlerAction::kContinue;
-      });
+      },
+      opt.bulk ? serve::bulk::make_frame_handler(protocol)
+               : net::FrameHandler{});
   server_ptr = &server;
 
   std::string error;
@@ -168,8 +198,7 @@ int main(int argc, char** argv) {
   std::string snapshot_path;
   std::string listen_text;
   bool quiet = false;
-  long max_conns = 4096;
-  long idle_timeout_s = 300;
+  ListenOptions listen_opt;
   serve::StoreOptions store_opt;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -186,15 +215,32 @@ int main(int argc, char** argv) {
     } else if (a == "--listen" && i + 1 < argc) {
       listen_text = argv[++i];
     } else if (a == "--max-conns" && i + 1 < argc) {
-      max_conns = std::atol(argv[++i]);
-      if (max_conns < 1) {
+      const long v = std::atol(argv[++i]);
+      if (v < 1) {
         std::fprintf(stderr, "error: --max-conns must be >= 1\n");
         return 1;
       }
+      listen_opt.max_conns = static_cast<std::size_t>(v);
     } else if (a == "--idle-timeout" && i + 1 < argc) {
-      idle_timeout_s = std::atol(argv[++i]);
-      if (idle_timeout_s < 1) {
+      listen_opt.idle_timeout_s = std::atol(argv[++i]);
+      if (listen_opt.idle_timeout_s < 1) {
         std::fprintf(stderr, "error: --idle-timeout must be >= 1 second\n");
+        return 1;
+      }
+    } else if (a == "--bulk") {
+      listen_opt.bulk = true;
+    } else if (a == "--no-bulk") {
+      listen_opt.bulk = false;
+    } else if (a == "--rate-limit" && i + 1 < argc) {
+      listen_opt.rate_limit = std::atof(argv[++i]);
+      if (listen_opt.rate_limit <= 0) {
+        std::fprintf(stderr, "error: --rate-limit must be > 0\n");
+        return 1;
+      }
+    } else if (a == "--rate-burst" && i + 1 < argc) {
+      listen_opt.rate_burst = std::atof(argv[++i]);
+      if (listen_opt.rate_burst < 1) {
+        std::fprintf(stderr, "error: --rate-burst must be >= 1\n");
         return 1;
       }
     } else {
@@ -251,9 +297,9 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(st.as_links), st.iterations);
   }
 
-  if (listen_addr)
-    return run_listen(store, *listen_addr, store_opt.threads,
-                      static_cast<std::size_t>(max_conns), idle_timeout_s,
-                      quiet);
+  if (listen_addr) {
+    listen_opt.threads = store_opt.threads;
+    return run_listen(store, *listen_addr, listen_opt, quiet);
+  }
   return run_stdin(store);
 }

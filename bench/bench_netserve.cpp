@@ -22,9 +22,16 @@
 //       with a single address, or COUNT). CI's server smoke leg uses
 //       this with --min-qps to assert the served snapshot answers.
 //
+//   bench_netserve --bulk
+//       Self-contained A/B: first a text phase (exactly the default
+//       mode), then a BULK phase driving the same addresses as binary
+//       frames of --batch addresses (default 4096). Reports both
+//       rates and enforces the ISSUE 7 floor: bulk addresses/sec must
+//       be >= --min-ratio (default 3.0) times the text queries/sec.
+//
 // Common knobs: --clients M (default 4), --pipeline D (default 16),
-// --duration SECONDS (default 3), --min-qps N (floor; default 100000
-// self-contained, 1 external).
+// --duration SECONDS (default 3, per phase with --bulk), --min-qps N
+// (floor; default 100000 self-contained, 1 external).
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -48,6 +55,8 @@
 #include "bench_util.hpp"
 #include "net/server.hpp"
 #include "netbase/rng.hpp"
+#include "serve/bulk.hpp"
+#include "serve/bulk_transport.hpp"
 #include "serve/protocol.hpp"
 #include "serve/store.hpp"
 
@@ -63,6 +72,9 @@ struct Options {
   std::size_t pipeline = 16;
   double duration_s = 3.0;
   double min_qps = -1.0;  ///< <0: mode default
+  bool bulk = false;      ///< text phase then BULK phase, assert ratio
+  std::size_t batch = 4096;  ///< addresses per BULK frame
+  double min_ratio = 3.0;    ///< bulk addrs/sec over text queries/sec
 };
 
 struct ClientResult {
@@ -179,6 +191,63 @@ ClientResult run_client(const std::string& host, std::uint16_t port,
   return result;
 }
 
+bool recv_all(int fd, char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::recv(fd, data + off, size - off, 0);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+// One BULK client: sends one prebuilt frame at a time and reads the
+// full fixed-width response; `responses` counts addresses answered.
+ClientResult run_bulk_client(const std::string& host, std::uint16_t port,
+                             const std::vector<std::string>& frames,
+                             std::size_t batch, Clock::time_point deadline,
+                             std::uint64_t seed) {
+  ClientResult result;
+  const int fd = connect_client(host, port);
+  if (fd < 0) {
+    result.failed = true;
+    return result;
+  }
+  result.latencies_us.reserve(1 << 16);
+
+  const std::size_t reply_len =
+      serve::bulk::kHeaderBytes + batch * serve::bulk::kResultRecBytes;
+  std::vector<char> rx(reply_len);
+  std::size_t next = seed % frames.size();
+
+  while (Clock::now() < deadline) {
+    const std::string& frame = frames[next];
+    next = (next + 1) % frames.size();
+    const Clock::time_point sent = Clock::now();
+    if (!send_all(fd, frame.data(), frame.size()) ||
+        !recv_all(fd, rx.data(), reply_len)) {
+      result.failed = true;
+      break;
+    }
+    if (static_cast<std::uint8_t>(rx[0]) != serve::bulk::kMagic ||
+        static_cast<std::uint8_t>(rx[1]) != serve::bulk::kOpResponse) {
+      result.failed = true;  // error frame or desync
+      break;
+    }
+    result.latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - sent)
+            .count());
+    result.responses += batch;
+  }
+  send_all(fd, "QUIT\n", 5);
+  ::close(fd);
+  return result;
+}
+
 double percentile(std::vector<double>& values, double p) {
   if (values.empty()) return 0.0;
   const std::size_t k = std::min(
@@ -231,11 +300,24 @@ std::optional<Options> parse_args(int argc, char** argv) {
       const char* v = next();
       if (!v) return std::nullopt;
       opt.min_qps = std::atof(v);
+    } else if (a == "--bulk") {
+      opt.bulk = true;
+    } else if (a == "--batch") {
+      const char* v = next();
+      if (!v || std::atol(v) < 1 ||
+          std::atol(v) > static_cast<long>(serve::bulk::kMaxBatch))
+        return std::nullopt;
+      opt.batch = static_cast<std::size_t>(std::atol(v));
+    } else if (a == "--min-ratio") {
+      const char* v = next();
+      if (!v || std::atof(v) <= 0) return std::nullopt;
+      opt.min_ratio = std::atof(v);
     } else {
       return std::nullopt;
     }
   }
   if (opt.connect_port != 0 && opt.queries_path.empty()) return std::nullopt;
+  if (opt.bulk && opt.connect_port != 0) return std::nullopt;  // self-contained
   return opt;
 }
 
@@ -247,7 +329,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: bench_netserve [--connect HOST:PORT --queries FILE]\n"
                  "                      [--clients M] [--pipeline D]\n"
-                 "                      [--duration SECONDS] [--min-qps N]\n");
+                 "                      [--duration SECONDS] [--min-qps N]\n"
+                 "                      [--bulk [--batch N] [--min-ratio R]]\n");
     return 1;
   }
   Options opt = *parsed;
@@ -263,6 +346,7 @@ int main(int argc, char** argv) {
   std::string host = opt.connect_host;
   std::uint16_t port = opt.connect_port;
   std::vector<std::string> queries;
+  std::vector<netbase::IPAddr> addrs;  // BULK phase reuses these
 
   if (external) {
     std::ifstream in(opt.queries_path);
@@ -283,6 +367,7 @@ int main(int argc, char** argv) {
     protocol = std::make_unique<serve::Protocol>(*store);
 
     net::ServerConfig config;  // ephemeral port, hardware-sized loops
+    if (opt.bulk) config.binary_magic = serve::bulk::kMagic;
     net::Server* server_raw = nullptr;
     server = std::make_unique<net::Server>(
         std::move(config),
@@ -291,7 +376,9 @@ int main(int argc, char** argv) {
                          serve::Protocol::Action::kQuit
                      ? net::HandlerAction::kClose
                      : net::HandlerAction::kContinue;
-        });
+        },
+        opt.bulk ? serve::bulk::make_frame_handler(*protocol)
+                 : net::FrameHandler{});
     server_raw = server.get();
     std::string error;
     if (!server_raw->start(&error)) {
@@ -301,7 +388,6 @@ int main(int argc, char** argv) {
     host = "127.0.0.1";
     port = server->port();
 
-    std::vector<netbase::IPAddr> addrs;
     addrs.reserve(store->stats().interfaces);
     for (const auto& rec : store->snapshot().interfaces)
       addrs.push_back(rec.addr);
@@ -356,11 +442,73 @@ int main(int argc, char** argv) {
     std::printf("  ERR replies: %llu\n",
                 static_cast<unsigned long long>(err_lines));
 
-  if (server) server->shutdown();
-
   bool ok = !any_failed && responses > 0 && qps >= opt.min_qps;
   if (!external && err_lines > 0) ok = false;  // own queries must all hit
   std::printf("  floor: >= %.0f queries/sec — %s\n", opt.min_qps,
               ok ? "PASS" : "FAIL");
+
+  // ---- BULK phase: same addresses, binary frames -----------------------
+  if (opt.bulk) {
+    const std::size_t batch = std::min(opt.batch, addrs.size());
+    // A few distinct frames so successive requests are not one hot
+    // cache line of addresses; each covers the table round robin.
+    constexpr std::size_t kFrames = 8;
+    std::vector<std::string> frames(kFrames);
+    std::size_t cursor = 0;
+    for (std::string& frame : frames) {
+      serve::bulk::append_request_header(frame,
+                                         static_cast<std::uint32_t>(batch));
+      for (std::size_t i = 0; i < batch; ++i) {
+        serve::bulk::append_addr_record(frame, addrs[cursor]);
+        cursor = (cursor + 1) % addrs.size();
+      }
+    }
+    std::printf("  bulk load: %zu clients, %zu addresses/frame, %.1f s\n",
+                opt.clients, batch, opt.duration_s);
+
+    const Clock::time_point b0 = Clock::now();
+    const Clock::time_point bulk_deadline =
+        b0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(opt.duration_s));
+    std::vector<ClientResult> bulk_results(opt.clients);
+    std::vector<std::thread> bulk_threads;
+    bulk_threads.reserve(opt.clients);
+    for (std::size_t c = 0; c < opt.clients; ++c)
+      bulk_threads.emplace_back([&, c] {
+        bulk_results[c] = run_bulk_client(host, port, frames, batch,
+                                          bulk_deadline, c * 104'729 + 1);
+      });
+    for (auto& t : bulk_threads) t.join();
+    const double bulk_elapsed_s =
+        std::chrono::duration<double>(Clock::now() - b0).count();
+
+    std::uint64_t bulk_addrs = 0;
+    bool bulk_failed = false;
+    std::vector<double> bulk_latencies;
+    for (auto& r : bulk_results) {
+      bulk_addrs += r.responses;
+      bulk_failed = bulk_failed || r.failed;
+      bulk_latencies.insert(bulk_latencies.end(), r.latencies_us.begin(),
+                            r.latencies_us.end());
+    }
+    const double bulk_qps = static_cast<double>(bulk_addrs) / bulk_elapsed_s;
+    const double bulk_p50 = percentile(bulk_latencies, 0.50);
+    const double bulk_p99 = percentile(bulk_latencies, 0.99);
+    std::printf(
+        "  bulk throughput: %10.0f addrs/sec (%llu addresses in %.2f s)\n",
+        bulk_qps, static_cast<unsigned long long>(bulk_addrs),
+        bulk_elapsed_s);
+    std::printf("  bulk latency:    p50 %.1f us, p99 %.1f us (per frame)\n",
+                bulk_p50, bulk_p99);
+
+    const double ratio = qps > 0 ? bulk_qps / qps : 0.0;
+    const bool ratio_ok = !bulk_failed && bulk_addrs > 0 &&
+                          ratio >= opt.min_ratio;
+    std::printf("  bulk speedup: %.1fx over text (floor >= %.1fx) — %s\n",
+                ratio, opt.min_ratio, ratio_ok ? "PASS" : "FAIL");
+    ok = ok && ratio_ok;
+  }
+
+  if (server) server->shutdown();
   return ok ? 0 : 1;
 }

@@ -1,0 +1,197 @@
+// Fuzz target: the binary BULK protocol (serve/bulk.* + handle_bulk).
+//
+// The input is treated as raw wire bytes arriving on a connection
+// whose stream mixes text lines and binary frames, exactly as
+// net::Connection parses it. The harness traps on five invariant
+// violations:
+//
+//   * scan_request reports a frame longer than the buffered bytes, or
+//     shorter than a header (framing arithmetic);
+//   * a malformed prefix scans to kError without appending exactly one
+//     8-byte error frame that parse_error accepts (error rendering);
+//   * handle_bulk accepts a frame but its reply is not one well-formed
+//     response frame of exactly `count` records (response rendering);
+//   * a record disagrees with the text protocol's IFACE reply for the
+//     same address — AS fields, border/IXP/echo flags, or found-ness
+//     (bulk answers must be provably equivalent to text answers);
+//   * two identical calls produce different bytes (determinism).
+//
+// Equivalence checking is capped per frame so a 64 Ki-address input
+// spends its budget on many frames rather than one.
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/bulk.hpp"
+#include "serve/protocol.hpp"
+#include "serve/store.hpp"
+
+namespace {
+
+serve::Snapshot tiny_snapshot() {
+  serve::Snapshot snap;
+  snap.iterations = 2;
+  snap.iteration_stats.resize(2);
+  snap.router_count = 3;
+
+  auto iface = [](const char* addr, std::uint32_t router_id,
+                  netbase::Asn router_as, netbase::Asn conn_as) {
+    serve::SnapshotIface rec;
+    rec.addr = netbase::IPAddr::must_parse(addr);
+    rec.router_id = router_id;
+    rec.inf.router_as = router_as;
+    rec.inf.conn_as = conn_as;
+    rec.inf.seen_non_echo = true;
+    return rec;
+  };
+  // Strictly ascending by address (the audited snapshot invariant).
+  snap.interfaces.push_back(iface("10.0.0.1", 0, 65001, 65002));
+  snap.interfaces.push_back(iface("10.0.0.2", 0, 65001, netbase::kNoAs));
+  snap.interfaces.push_back(iface("10.0.1.1", 1, 65002, 65001));
+  snap.interfaces.push_back(iface("192.0.2.9", 2, 65003, netbase::kNoAs));
+  snap.as_links.emplace_back(65001, 65002);
+  return snap;
+}
+
+const serve::AnnotationStore& store() {
+  static const auto* instance = [] {
+    auto ptr = serve::AnnotationStore::open(tiny_snapshot());
+    if (!ptr) __builtin_trap();  // the seed image must audit cleanly
+    return ptr.release();
+  }();
+  return *instance;
+}
+
+/// Cross-checks result record `rec` against the text reply for the
+/// same address (reconstructed from the request frame's record i).
+void check_equivalence(const serve::Protocol& protocol,
+                       std::string_view frame, std::size_t i,
+                       const serve::bulk::ResultRec& rec) {
+  const char* p = frame.data() + serve::bulk::kHeaderBytes +
+                  i * serve::bulk::kAddrRecBytes;
+  const std::uint8_t family = static_cast<std::uint8_t>(*p);
+  netbase::IPAddr addr;
+  if (family == 4) {
+    std::uint32_t v = 0;
+    for (int b = 0; b < 4; ++b)
+      v = (v << 8) | static_cast<std::uint8_t>(p[1 + b]);
+    addr = netbase::IPAddr::v4(v);
+  } else if (family == 6) {
+    std::array<std::uint8_t, 16> bytes;
+    std::memcpy(bytes.data(), p + 1, 16);
+    addr = netbase::IPAddr::v6(bytes);
+  } else {
+    __builtin_trap();  // handle_bulk must not answer a bad family
+  }
+
+  std::string text;
+  protocol.handle_line("IFACE " + addr.to_string(), text);
+  const bool text_hit = text.compare(0, 4, "ERR\t") != 0;
+  if (rec.found() != text_hit) __builtin_trap();
+  if (!rec.found()) {
+    if (rec.router_as != 0 || rec.conn_as != 0 || rec.router_id != 0 ||
+        rec.flags != 0)
+      __builtin_trap();
+    return;
+  }
+  // text: addr \t router_as \t conn_as \t flags \n
+  const std::size_t t1 = text.find('\t');
+  const std::size_t t2 = text.find('\t', t1 + 1);
+  const std::size_t t3 = text.find('\t', t2 + 1);
+  if (t3 == std::string::npos) __builtin_trap();
+  const std::string_view ras(text.data() + t1 + 1, t2 - t1 - 1);
+  const std::string_view cas(text.data() + t2 + 1, t3 - t2 - 1);
+  const std::string_view flags(text.data() + t3 + 1,
+                               text.size() - t3 - 2);  // strip '\n'
+  if (std::to_string(rec.router_as) != ras) __builtin_trap();
+  if (std::to_string(rec.conn_as) != cas) __builtin_trap();
+  if (rec.border() != (flags.find('B') != std::string_view::npos))
+    __builtin_trap();
+  if (((rec.flags & serve::bulk::kFlagIxp) != 0) !=
+      (flags.find('X') != std::string_view::npos))
+    __builtin_trap();
+  if (((rec.flags & serve::bulk::kFlagEchoOnly) != 0) !=
+      (flags.find('E') != std::string_view::npos))
+    __builtin_trap();
+}
+
+/// One complete frame claimed by scan_request: dispatch and verify.
+void check_frame(const serve::Protocol& protocol, std::string_view frame) {
+  thread_local serve::Protocol::BulkScratch scratch;
+  std::string out;
+  const serve::Protocol::BulkOutcome r =
+      protocol.handle_bulk(frame, out, scratch);
+
+  std::string again;
+  serve::Protocol::BulkScratch scratch2;
+  const serve::Protocol::BulkOutcome r2 =
+      protocol.handle_bulk(frame, again, scratch2);
+  if (r.ok != r2.ok || r.addrs != r2.addrs || out != again)
+    __builtin_trap();  // determinism
+
+  if (!r.ok) {
+    // Rejected frame: the reply must be one 8-byte error frame.
+    serve::bulk::ErrorFrame err;
+    if (!serve::bulk::parse_error(out, &err)) __builtin_trap();
+    return;
+  }
+
+  std::vector<serve::bulk::ResultRec> recs;
+  if (!serve::bulk::parse_response(out, &recs)) __builtin_trap();
+  if (recs.size() != r.addrs) __builtin_trap();
+
+  constexpr std::size_t kEquivalenceCap = 32;
+  const std::size_t check = std::min(recs.size(), kEquivalenceCap);
+  for (std::size_t i = 0; i < check; ++i)
+    check_equivalence(protocol, frame, i, recs[i]);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  static const serve::Protocol protocol(store());
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  // As net::Connection frames it: a kMagic byte starts a binary frame,
+  // anything else is a text line up to the next newline.
+  while (!input.empty()) {
+    if (static_cast<std::uint8_t>(input.front()) == serve::bulk::kMagic) {
+      std::size_t frame_len = 0;
+      std::string err;
+      switch (serve::bulk::scan_request(input, &frame_len, err)) {
+        case serve::bulk::Scan::kNeedMore:
+          if (!err.empty()) __builtin_trap();
+          return 0;  // truncated trailing frame: connection would close
+        case serve::bulk::Scan::kError: {
+          serve::bulk::ErrorFrame frame;
+          if (!serve::bulk::parse_error(err, &frame)) __builtin_trap();
+          return 0;  // malformed stream: connection would close
+        }
+        case serve::bulk::Scan::kFrame:
+          break;
+      }
+      if (frame_len > input.size()) __builtin_trap();
+      if (frame_len < serve::bulk::kHeaderBytes) __builtin_trap();
+      if (!err.empty()) __builtin_trap();
+      check_frame(protocol, input.substr(0, frame_len));
+      input.remove_prefix(frame_len);
+      continue;
+    }
+    const std::size_t nl = input.find('\n');
+    const std::string_view line =
+        nl == std::string_view::npos ? input : input.substr(0, nl);
+    std::string out;
+    protocol.handle_line(line, out);
+    if (!out.empty() && out.back() != '\n') __builtin_trap();
+    if (nl == std::string_view::npos) break;  // EOF-unterminated line
+    input.remove_prefix(nl + 1);
+  }
+  return 0;
+}

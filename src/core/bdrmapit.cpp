@@ -36,10 +36,18 @@ Result Bdrmapit::annotate_and_package(graph::Graph graph, const asrel::RelStore&
 
 std::string IfaceInference::flags() const {
   std::string flags;
-  if (interdomain()) flags += 'B';
-  if (ixp) flags += 'X';
-  if (!seen_non_echo) flags += 'E';
-  return flags.empty() ? "-" : flags;
+  append_flags(flags);
+  return flags;
+}
+
+void IfaceInference::append_flags(std::string& out) const {
+  char buf[3];
+  std::size_t n = 0;
+  if (interdomain()) buf[n++] = 'B';
+  if (ixp) buf[n++] = 'X';
+  if (!seen_non_echo) buf[n++] = 'E';
+  if (n == 0) buf[n++] = '-';
+  out.append(buf, n);
 }
 
 std::vector<std::pair<netbase::Asn, netbase::Asn>> Result::as_links() const {

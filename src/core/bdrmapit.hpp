@@ -44,6 +44,10 @@ struct IfaceInference {
   /// `-` when none apply. Shared by bdrmapit_cli and bdrmapit_serve so
   /// their outputs agree byte for byte.
   std::string flags() const;
+
+  /// Appends the flags column to `out` without a temporary string —
+  /// the serving layer's hot reply path renders flags through this.
+  void append_flags(std::string& out) const;
 };
 
 struct Result {

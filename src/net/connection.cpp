@@ -2,8 +2,10 @@
 
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 
 #include "net/server.hpp"
@@ -23,7 +25,12 @@ Connection::Connection(Server& server, EventLoop& loop,
       loop_(loop),
       loop_index_(loop_index),
       fd_(fd),
-      last_active_(Clock::now()) {}
+      last_active_(Clock::now()) {
+  const ServerConfig& cfg = server_.config();
+  burst_ = cfg.rate_burst > 0 ? cfg.rate_burst : std::max(cfg.rate_limit, 1.0);
+  tokens_ = burst_;  // a fresh connection may burst to the bucket depth
+  bucket_time_ = last_active_;
+}
 
 Connection::~Connection() {
   if (fd_ >= 0) ::close(fd_);
@@ -69,40 +76,94 @@ void Connection::on_readable() {
   pump();
 }
 
-void Connection::process_lines() {
+bool Connection::take_token() {
+  const double rate = server_.config().rate_limit;
+  if (rate <= 0) return true;
+  const Clock::time_point now = Clock::now();
+  tokens_ = std::min(
+      burst_, tokens_ + rate * std::chrono::duration<double>(
+                                   now - bucket_time_).count());
+  bucket_time_ = now;
+  if (tokens_ >= 1.0) {
+    tokens_ -= 1.0;
+    return true;
+  }
+  server_.note_rate_limited();
+  return false;
+}
+
+void Connection::process_input() {
+  const bool binary = server_.binary_framing();
+  const std::uint8_t magic = server_.config().binary_magic;
   while (!want_close_) {
     if (outbound() > server_.config().max_write_buffer) {
       paused_ = true;  // stop parsing until the client drains replies
       return;
     }
+    if (rpos_ >= rbuf_.size()) break;
+
+    if (binary && static_cast<std::uint8_t>(rbuf_[rpos_]) == magic) {
+      if (!take_token()) {
+        out_ += server_.config().rate_limited_frame;
+        want_close_ = true;
+        break;
+      }
+      const std::string_view buf(rbuf_.data() + rpos_, rbuf_.size() - rpos_);
+      const FrameResult r = server_.dispatch_frame(buf, out_);
+      if (r.status == FrameStatus::kNeedMore) {
+        // Refund the token: the frame was not dispatched yet, and the
+        // retry when its remaining bytes arrive will charge again.
+        tokens_ = std::min(burst_, tokens_ + 1.0);
+        if (eof_) want_close_ = true;  // truncated trailing frame
+        break;
+      }
+      rpos_ += r.consumed;
+      last_active_ = Clock::now();
+      if (r.status == FrameStatus::kClose) {
+        want_close_ = true;
+        break;
+      }
+      continue;
+    }
+
     const std::size_t nl = rbuf_.find('\n', rpos_);
     const std::size_t limit = server_.config().max_line_bytes;
     if (nl == std::string::npos) {
       if (rbuf_.size() - rpos_ > limit) {
-        wbuf_ += "ERR\tline-too-long\t" + std::to_string(limit) + "\n";
+        out_ += "ERR\tline-too-long\t" + std::to_string(limit) + "\n";
         want_close_ = true;
         rbuf_.clear();
         rpos_ = 0;
       } else if (eof_ && rpos_ < rbuf_.size()) {
         // A final unterminated line: dispatch it, exactly as the stdin
         // REPL's getline delivers a stream with no trailing newline.
+        if (!take_token()) {
+          out_ += server_.config().rate_limited_line;
+          want_close_ = true;
+          break;
+        }
         const std::string_view line(rbuf_.data() + rpos_,
                                     rbuf_.size() - rpos_);
         rpos_ = rbuf_.size();
-        if (server_.dispatch(line, wbuf_) == HandlerAction::kClose)
+        if (server_.dispatch(line, out_) == HandlerAction::kClose)
           want_close_ = true;
       }
       break;
     }
     if (nl - rpos_ > limit) {
-      wbuf_ += "ERR\tline-too-long\t" + std::to_string(limit) + "\n";
+      out_ += "ERR\tline-too-long\t" + std::to_string(limit) + "\n";
+      want_close_ = true;
+      break;
+    }
+    if (!take_token()) {
+      out_ += server_.config().rate_limited_line;
       want_close_ = true;
       break;
     }
     const std::string_view line(rbuf_.data() + rpos_, nl - rpos_);
     rpos_ = nl + 1;
     last_active_ = Clock::now();
-    if (server_.dispatch(line, wbuf_) == HandlerAction::kClose) {
+    if (server_.dispatch(line, out_) == HandlerAction::kClose) {
       want_close_ = true;  // QUIT: any pipelined requests behind it drop
       break;
     }
@@ -117,13 +178,28 @@ void Connection::process_lines() {
 }
 
 void Connection::flush() {
-  while (woff_ < wbuf_.size()) {
-    const ssize_t n = ::send(fd_, wbuf_.data() + woff_, wbuf_.size() - woff_,
-                             MSG_NOSIGNAL);
+  // One vectored write covers the already-queued prefix and this
+  // pump's fresh replies; in steady state wbuf_ is empty and reply
+  // bytes go from the render buffer to the kernel with no extra copy.
+  std::size_t ooff = 0;
+  while (woff_ < wbuf_.size() || ooff < out_.size()) {
+    iovec iov[2];
+    int iovcnt = 0;
+    if (woff_ < wbuf_.size())
+      iov[iovcnt++] = {wbuf_.data() + woff_, wbuf_.size() - woff_};
+    if (ooff < out_.size())
+      iov[iovcnt++] = {out_.data() + ooff, out_.size() - ooff};
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
     if (n > 0) {
-      woff_ += static_cast<std::size_t>(n);
       server_.note_bytes_out(static_cast<std::size_t>(n));
       last_active_ = Clock::now();
+      std::size_t left = static_cast<std::size_t>(n);
+      const std::size_t from_wbuf = std::min(left, wbuf_.size() - woff_);
+      woff_ += from_wbuf;
+      ooff += left - from_wbuf;
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
@@ -131,6 +207,12 @@ void Connection::flush() {
     close();  // peer gone; replies are undeliverable
     return;
   }
+  if (ooff < out_.size()) {
+    // Backpressure: the socket did not take everything — queue the
+    // unsent fresh bytes (the only copy on the reply path).
+    wbuf_.append(out_, ooff, std::string::npos);
+  }
+  out_.clear();
   if (woff_ == wbuf_.size()) {
     wbuf_.clear();
     woff_ = 0;
@@ -142,7 +224,7 @@ void Connection::flush() {
 
 void Connection::pump() {
   for (;;) {
-    process_lines();
+    process_input();
     flush();
     if (closed()) return;
     // eof_ alone closes too, but only once parsing is not paused — a

@@ -2,10 +2,14 @@
 //
 // A Connection owns a non-blocking client socket and lives entirely on
 // one EventLoop thread; no lock guards its state. It implements the
-// line framing and flow-control rules of the serving layer:
+// framing and flow-control rules of the serving layer:
 //
 //   * incremental reads — requests may arrive split across any number
 //     of TCP segments, or many pipelined requests in one segment;
+//   * dual framing — a request starting with config.binary_magic is a
+//     length-prefixed binary frame handed to the server's FrameHandler;
+//     anything else is a newline-terminated text line. The two framings
+//     interleave freely on one connection;
 //   * bounded write queue with backpressure — when a client stops
 //     draining its responses, the connection stops *reading* (and thus
 //     stops parsing further pipelined requests) until the outbound
@@ -14,10 +18,20 @@
 //   * per-line length cap — an unterminated or terminated line longer
 //     than max_line_bytes answers `ERR line-too-long` and ends the
 //     session;
+//   * per-connection rate limit — a token bucket (config.rate_limit
+//     req/s, config.rate_burst deep) charged one token per request;
+//     an over-limit request answers the configured rejection reply
+//     (`ERR rate-limited` / error frame) and ends the session;
 //   * idle timeout — the owning loop's tick sweeps connections that
 //     have neither sent nor received for idle_timeout;
 //   * graceful teardown — QUIT, EOF, and server drain all flush every
 //     queued reply byte before the socket closes.
+//
+// The write side is zero-copy in steady state: replies render into the
+// reusable per-connection scratch `out_`, and flush() hands the
+// still-queued prefix (wbuf_) and the fresh bytes (out_) to the kernel
+// in one vectored sendmsg — fresh reply bytes are copied into wbuf_
+// only when the socket cannot take them all (backpressure).
 //
 // Lifecycle discipline: close() unregisters and closes the fd
 // immediately but defers object destruction through Server::release,
@@ -61,17 +75,23 @@ class Connection {
  private:
   void on_events(std::uint32_t events);
   void on_readable();
-  /// Parses complete lines out of rbuf_ and dispatches them, stopping
-  /// early on backpressure, QUIT, or a framing violation.
-  void process_lines();
-  /// Writes as much of wbuf_ as the socket accepts.
+  /// Parses complete requests (text lines and binary frames) out of
+  /// rbuf_ and dispatches them, stopping early on backpressure, QUIT,
+  /// or a framing violation. Replies render into out_.
+  void process_input();
+  /// Vectored write of wbuf_'s tail plus out_'s fresh bytes; whatever
+  /// the socket does not take of out_ is queued into wbuf_.
   void flush();
   /// process → flush → resume cycle; settles interest or closes.
   void pump();
   void update_interest();
   void close();
+  /// Takes one rate-limit token; counts the rejection when over limit.
+  bool take_token();
 
-  std::size_t outbound() const noexcept { return wbuf_.size() - woff_; }
+  std::size_t outbound() const noexcept {
+    return (wbuf_.size() - woff_) + out_.size();
+  }
 
   Server& server_;
   EventLoop& loop_;
@@ -79,15 +99,20 @@ class Connection {
   int fd_;
 
   std::string rbuf_;       ///< unparsed request bytes
-  std::size_t rpos_ = 0;   ///< start of the first unparsed line
-  std::string wbuf_;       ///< queued reply bytes
+  std::size_t rpos_ = 0;   ///< start of the first unparsed request
+  std::string wbuf_;       ///< queued reply bytes awaiting the socket
   std::size_t woff_ = 0;   ///< already-written prefix of wbuf_
+  std::string out_;        ///< fresh reply bytes rendered this pump
   std::uint32_t interest_ = 0;  ///< current epoll mask
 
   bool paused_ = false;      ///< reading stopped by backpressure
   bool eof_ = false;         ///< client half-closed
   bool want_close_ = false;  ///< flush remaining replies, then close
   Clock::time_point last_active_;
+
+  double tokens_ = 0;        ///< rate-limit bucket fill
+  double burst_ = 0;         ///< bucket depth (resolved from config)
+  Clock::time_point bucket_time_;  ///< last refill
 };
 
 }  // namespace net

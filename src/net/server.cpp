@@ -12,8 +12,11 @@
 
 namespace net {
 
-Server::Server(ServerConfig config, Handler handler)
-    : config_(std::move(config)), handler_(std::move(handler)) {}
+Server::Server(ServerConfig config, Handler handler,
+               FrameHandler frame_handler)
+    : config_(std::move(config)),
+      handler_(std::move(handler)),
+      frame_handler_(std::move(frame_handler)) {}
 
 Server::~Server() {
   if (started_ && !joined_) shutdown();
@@ -165,6 +168,9 @@ ServerStats Server::stats() const noexcept {
   s.requests = requests_.load(std::memory_order_relaxed);
   s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  s.rate_limited = rate_limited_.load(std::memory_order_relaxed);
+  s.frames = frames_.load(std::memory_order_relaxed);
+  s.frame_units = frame_units_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -173,12 +179,25 @@ HandlerAction Server::dispatch(std::string_view line, std::string& out) {
   return handler_(line, out);
 }
 
+FrameResult Server::dispatch_frame(std::string_view buf, std::string& out) {
+  const FrameResult r = frame_handler_(buf, out);
+  if (r.status == FrameStatus::kHandled) {
+    frames_.fetch_add(1, std::memory_order_relaxed);
+    frame_units_.fetch_add(r.units, std::memory_order_relaxed);
+  }
+  return r;
+}
+
 void Server::note_bytes_in(std::size_t n) noexcept {
   bytes_in_.fetch_add(n, std::memory_order_relaxed);
 }
 
 void Server::note_bytes_out(std::size_t n) noexcept {
   bytes_out_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void Server::note_rate_limited() noexcept {
+  rate_limited_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Server::release(Connection* conn, std::size_t loop_index) {

@@ -49,6 +49,23 @@ struct ServerConfig {
   std::size_t max_write_buffer = 4u << 20;  ///< pause reading above this
   std::chrono::milliseconds idle_timeout{300'000};
   std::chrono::milliseconds tick_period{1'000};  ///< idle/drain sweep cadence
+
+  /// First request byte that selects binary framing instead of line
+  /// framing (the BULK protocol's magic). 0 keeps the stream text-only;
+  /// a non-zero magic requires a frame handler.
+  std::uint8_t binary_magic = 0;
+
+  /// Per-connection token-bucket request rate limit, requests/sec
+  /// (one request = one text line or one binary frame). 0 = unlimited.
+  double rate_limit = 0;
+  /// Token bucket depth (burst size); <= 0 resolves to
+  /// max(rate_limit, 1). A fresh connection starts with a full bucket.
+  double rate_burst = 0;
+  /// Reply sent (then close) when a text request exceeds the limit.
+  std::string rate_limited_line = "ERR\trate-limited\n";
+  /// Reply sent (then close) when a binary frame exceeds the limit;
+  /// the application pre-renders its protocol's error frame here.
+  std::string rate_limited_frame;
 };
 
 /// Live counters, readable from any thread (NETSTATS renders these).
@@ -57,13 +74,37 @@ struct ServerStats {
   std::uint64_t active = 0;    ///< connections currently in service
   std::uint64_t closed = 0;    ///< served connections since closed
   std::uint64_t shed = 0;      ///< closed immediately with ERR overloaded
-  std::uint64_t requests = 0;  ///< request lines dispatched
+  std::uint64_t requests = 0;  ///< text request lines dispatched
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_out = 0;
+  std::uint64_t rate_limited = 0;  ///< requests rejected by the token bucket
+  std::uint64_t frames = 0;        ///< binary frames answered successfully
+  std::uint64_t frame_units = 0;   ///< work units (addresses) across frames
 };
 
 /// What the server should do with the connection after a request.
 enum class HandlerAction { kContinue, kClose };
+
+/// Outcome of handling bytes that begin with config.binary_magic.
+enum class FrameStatus {
+  kNeedMore,  ///< incomplete frame; deliver more bytes when they arrive
+  kHandled,   ///< frame consumed and answered; keep the session open
+  kClose,     ///< frame consumed (reply may be an error); close after flush
+};
+
+struct FrameResult {
+  FrameStatus status = FrameStatus::kClose;
+  std::size_t consumed = 0;  ///< bytes consumed (kHandled / kClose)
+  std::size_t units = 0;     ///< application work units answered (kHandled)
+};
+
+/// Called with every buffered unparsed byte starting at a
+/// config.binary_magic byte. The handler scans for one complete
+/// frame, appends its reply to `out`, and reports how many bytes it
+/// consumed. Must be safe to call concurrently from every loop
+/// thread (the bdrmapit stack keeps per-thread scratch).
+using FrameHandler =
+    std::function<FrameResult(std::string_view buf, std::string& out)>;
 
 class Server {
  public:
@@ -73,7 +114,8 @@ class Server {
   using Handler =
       std::function<HandlerAction(std::string_view line, std::string& out)>;
 
-  Server(ServerConfig config, Handler handler);
+  Server(ServerConfig config, Handler handler,
+         FrameHandler frame_handler = {});
   ~Server();
 
   Server(const Server&) = delete;
@@ -103,8 +145,13 @@ class Server {
 
   // ---- used by Connection (internal to src/net) ----------------------
   HandlerAction dispatch(std::string_view line, std::string& out);
+  FrameResult dispatch_frame(std::string_view buf, std::string& out);
+  bool binary_framing() const noexcept {
+    return config_.binary_magic != 0 && frame_handler_ != nullptr;
+  }
   void note_bytes_in(std::size_t n) noexcept;
   void note_bytes_out(std::size_t n) noexcept;
+  void note_rate_limited() noexcept;
   /// Defers destruction of a closed connection to its loop's task
   /// queue and accounts the close.
   void release(Connection* conn, std::size_t loop_index);
@@ -123,6 +170,7 @@ class Server {
 
   ServerConfig config_;
   Handler handler_;
+  FrameHandler frame_handler_;
   std::unique_ptr<Listener> listener_;
   std::uint16_t bound_port_ = 0;  ///< preserved across listener teardown
   std::vector<std::unique_ptr<LoopState>> loops_;
@@ -139,6 +187,9 @@ class Server {
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> bytes_in_{0};
   std::atomic<std::uint64_t> bytes_out_{0};
+  std::atomic<std::uint64_t> rate_limited_{0};
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> frame_units_{0};
 };
 
 }  // namespace net

@@ -179,12 +179,50 @@ bool IPAddr::matches(const IPAddr& other, int len) const noexcept {
          (other.bytes_[static_cast<std::size_t>(full)] & mask);
 }
 
-std::string IPAddr::to_string() const {
-  char buf[64];
+namespace {
+
+// Decimal byte without snprintf; returns the new write position.
+char* put_u8(char* p, std::uint8_t v) noexcept {
+  if (v >= 100) {
+    *p++ = static_cast<char>('0' + v / 100);
+    v = static_cast<std::uint8_t>(v % 100);
+    *p++ = static_cast<char>('0' + v / 10);
+    *p++ = static_cast<char>('0' + v % 10);
+  } else if (v >= 10) {
+    *p++ = static_cast<char>('0' + v / 10);
+    *p++ = static_cast<char>('0' + v % 10);
+  } else {
+    *p++ = static_cast<char>('0' + v);
+  }
+  return p;
+}
+
+// Lower-case hex group with leading zeros stripped (RFC 5952 §4.3).
+char* put_hex16(char* p, std::uint16_t v) noexcept {
+  static constexpr char kHex[] = "0123456789abcdef";
+  bool started = false;
+  for (int shift = 12; shift >= 0; shift -= 4) {
+    const unsigned nib = (v >> shift) & 0xFu;
+    if (!started && nib == 0 && shift != 0) continue;
+    started = true;
+    *p++ = kHex[nib];
+  }
+  return p;
+}
+
+}  // namespace
+
+std::size_t IPAddr::format_to(char* buf) const noexcept {
+  char* p = buf;
   if (is_v4()) {
-    std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", bytes_[0], bytes_[1], bytes_[2],
-                  bytes_[3]);
-    return buf;
+    p = put_u8(p, bytes_[0]);
+    *p++ = '.';
+    p = put_u8(p, bytes_[1]);
+    *p++ = '.';
+    p = put_u8(p, bytes_[2]);
+    *p++ = '.';
+    p = put_u8(p, bytes_[3]);
+    return static_cast<std::size_t>(p - buf);
   }
   // RFC 5952: compress the longest run (>= 2) of zero groups.
   std::uint16_t groups[8];
@@ -206,20 +244,32 @@ std::string IPAddr::to_string() const {
     }
   }
   if (best_len < 2) best_start = -1;
-  std::string out;
   for (int i = 0; i < 8;) {
     if (i == best_start) {
-      out += "::";
+      *p++ = ':';
+      *p++ = ':';
       i += best_len;
       continue;
     }
-    if (!out.empty() && out.back() != ':') out += ':';
-    std::snprintf(buf, sizeof buf, "%x", groups[i]);
-    out += buf;
+    if (p != buf && p[-1] != ':') *p++ = ':';
+    p = put_hex16(p, groups[i]);
     ++i;
   }
-  if (out.empty()) out = "::";
-  return out;
+  if (p == buf) {
+    *p++ = ':';
+    *p++ = ':';
+  }
+  return static_cast<std::size_t>(p - buf);
+}
+
+void IPAddr::append_to(std::string& out) const {
+  char buf[kMaxTextLen];
+  out.append(buf, format_to(buf));
+}
+
+std::string IPAddr::to_string() const {
+  char buf[kMaxTextLen];
+  return std::string(buf, format_to(buf));
 }
 
 bool IPAddr::is_private() const noexcept {

@@ -92,6 +92,19 @@ class IPAddr {
   /// of different families never match.
   bool matches(const IPAddr& other, int len) const noexcept;
 
+  /// Upper bound on the text form's length (IPv6 worst case), for
+  /// sizing format_to buffers.
+  static constexpr std::size_t kMaxTextLen = 45;
+
+  /// Writes the canonical text form into `buf` (at least kMaxTextLen
+  /// bytes, not NUL-terminated) and returns the length. Allocation-free:
+  /// the serving layer's hot reply path renders addresses through this.
+  std::size_t format_to(char* buf) const noexcept;
+
+  /// Appends the canonical text form to `out`. Does not allocate when
+  /// `out` has spare capacity.
+  void append_to(std::string& out) const;
+
   /// Canonical text form ("192.0.2.1", "2001:db8::1").
   std::string to_string() const;
 

@@ -1,0 +1,97 @@
+#include "serve/bulk.hpp"
+
+#include "serve/render.hpp"
+
+namespace serve::bulk {
+
+void append_error(std::string& out, ErrCode code, std::uint32_t detail) {
+  const char header[4] = {static_cast<char>(kMagic),
+                          static_cast<char>(kOpError),
+                          static_cast<char>(kVersion),
+                          static_cast<char>(code)};
+  out.append(header, sizeof header);
+  render::append_u32le(out, detail);
+}
+
+Scan scan_request(std::string_view buf, std::size_t* frame_len,
+                  std::string& err) {
+  // Reject each header field as soon as its byte arrives: a client
+  // sending garbage after the magic is told so immediately, and a
+  // hostile count can never demand more buffering than one real frame.
+  if (buf.size() >= 2 && static_cast<std::uint8_t>(buf[1]) != kOpRequest) {
+    append_error(err, ErrCode::kBadOpcode, static_cast<std::uint8_t>(buf[1]));
+    return Scan::kError;
+  }
+  if (buf.size() >= 3 && static_cast<std::uint8_t>(buf[2]) != kVersion) {
+    append_error(err, ErrCode::kBadVersion, static_cast<std::uint8_t>(buf[2]));
+    return Scan::kError;
+  }
+  if (buf.size() < kHeaderBytes) return Scan::kNeedMore;
+  const std::uint32_t count = render::load_u32le(buf.data() + 4);
+  if (count == 0 || count > kMaxBatch) {
+    append_error(err, ErrCode::kBadCount, count);
+    return Scan::kError;
+  }
+  const std::size_t total = kHeaderBytes + std::size_t{count} * kAddrRecBytes;
+  if (buf.size() < total) return Scan::kNeedMore;
+  *frame_len = total;
+  return Scan::kFrame;
+}
+
+void append_request_header(std::string& out, std::uint32_t count) {
+  const char header[4] = {static_cast<char>(kMagic),
+                          static_cast<char>(kOpRequest),
+                          static_cast<char>(kVersion), 0};
+  out.append(header, sizeof header);
+  render::append_u32le(out, count);
+}
+
+void append_addr_record(std::string& out, const netbase::IPAddr& addr) {
+  char rec[kAddrRecBytes] = {};
+  rec[0] = addr.is_v4() ? 4 : 6;
+  const auto& raw = addr.raw();
+  const std::size_t n = addr.is_v4() ? 4 : 16;
+  for (std::size_t i = 0; i < n; ++i) rec[1 + i] = static_cast<char>(raw[i]);
+  out.append(rec, sizeof rec);
+}
+
+void append_request(std::string& out,
+                    const std::vector<netbase::IPAddr>& addrs) {
+  out.reserve(out.size() + kHeaderBytes + addrs.size() * kAddrRecBytes);
+  append_request_header(out, static_cast<std::uint32_t>(addrs.size()));
+  for (const auto& a : addrs) append_addr_record(out, a);
+}
+
+bool parse_response(std::string_view frame, std::vector<ResultRec>* out) {
+  if (frame.size() < kHeaderBytes) return false;
+  if (static_cast<std::uint8_t>(frame[0]) != kMagic ||
+      static_cast<std::uint8_t>(frame[1]) != kOpResponse ||
+      static_cast<std::uint8_t>(frame[2]) != kVersion)
+    return false;
+  const std::uint32_t count = render::load_u32le(frame.data() + 4);
+  if (frame.size() != kHeaderBytes + std::size_t{count} * kResultRecBytes)
+    return false;
+  out->reserve(out->size() + count);
+  const char* p = frame.data() + kHeaderBytes;
+  for (std::uint32_t i = 0; i < count; ++i, p += kResultRecBytes) {
+    ResultRec rec;
+    rec.router_as = render::load_u32le(p);
+    rec.conn_as = render::load_u32le(p + 4);
+    rec.router_id = render::load_u32le(p + 8);
+    rec.flags = static_cast<std::uint8_t>(p[12]);
+    out->push_back(rec);
+  }
+  return true;
+}
+
+bool parse_error(std::string_view frame, ErrorFrame* out) {
+  if (frame.size() != kHeaderBytes) return false;
+  if (static_cast<std::uint8_t>(frame[0]) != kMagic ||
+      static_cast<std::uint8_t>(frame[1]) != kOpError)
+    return false;
+  out->code = static_cast<std::uint8_t>(frame[3]);
+  out->detail = render::load_u32le(frame.data() + 4);
+  return true;
+}
+
+}  // namespace serve::bulk

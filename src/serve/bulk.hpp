@@ -1,0 +1,136 @@
+// serve/bulk.hpp — the binary BULK lookup protocol (wire format v1).
+//
+// A BULK client packs up to 64 Ki addresses into one length-prefixed
+// request frame and receives one response frame of fixed-width result
+// records — one store dispatch, one trie pass, one reply frame,
+// instead of a parse/render/write cycle per address. Frames share the
+// TCP byte stream with the text protocol: any request starting with
+// kMagic (0xBD, never the first byte of a well-formed text command) is
+// framed as binary; everything else remains a text line. The full wire
+// layout, limits, and error semantics are documented in
+// docs/SERVING.md ("Binary BULK protocol").
+//
+// All multi-byte integers are little-endian. Request frame:
+//
+//   offset 0  u8   magic    0xBD
+//   offset 1  u8   opcode   0x01 (bulk interface lookup)
+//   offset 2  u8   version  0x01
+//   offset 3  u8   reserved 0x00
+//   offset 4  u32  count    1 .. kMaxBatch
+//   offset 8  count * 17-byte address records:
+//               u8     family (4 or 6)
+//               u8[16] address, network byte order (v4 in bytes 0-3)
+//
+// Response frame: the same 8-byte header with opcode 0x81, then
+// `count` 16-byte result records, record i answering address i:
+//
+//   u32  router_as    u32  conn_as    u32  router_id
+//   u8   flags        bit0 found, bit1 border, bit2 IXP, bit3 echo-only
+//   u8[3] reserved    0x00
+//
+// A miss sets no flag bits and zeroes every field. Protocol errors
+// (bad opcode/version, count out of range, bad family byte) answer one
+// 8-byte error frame — opcode 0xFF, a code byte at offset 3, and a
+// 32-bit detail in place of count — after which the connection closes,
+// because a malformed binary stream cannot be re-synchronized.
+//
+// This header is transport-independent and allocation-conscious: the
+// scan/encode/decode helpers touch only caller-provided buffers, so
+// the fuzz harness (fuzz/fuzz_bulk.cpp) and the tests drive the exact
+// code the server runs.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netbase/ip_addr.hpp"
+
+namespace serve::bulk {
+
+inline constexpr std::uint8_t kMagic = 0xBD;  ///< never starts a text request
+inline constexpr std::uint8_t kOpRequest = 0x01;
+inline constexpr std::uint8_t kOpResponse = 0x81;
+inline constexpr std::uint8_t kOpError = 0xFF;
+inline constexpr std::uint8_t kVersion = 0x01;
+
+inline constexpr std::uint32_t kMaxBatch = 64 * 1024;  ///< addresses per frame
+inline constexpr std::size_t kHeaderBytes = 8;
+inline constexpr std::size_t kAddrRecBytes = 17;
+inline constexpr std::size_t kResultRecBytes = 16;
+
+/// Result-record flag bits.
+inline constexpr std::uint8_t kFlagFound = 0x01;
+inline constexpr std::uint8_t kFlagBorder = 0x02;
+inline constexpr std::uint8_t kFlagIxp = 0x04;
+inline constexpr std::uint8_t kFlagEchoOnly = 0x08;
+
+/// Error-frame codes (the byte at offset 3; detail at offset 4).
+enum class ErrCode : std::uint8_t {
+  kBadOpcode = 1,    ///< detail: the offending opcode byte
+  kBadVersion = 2,   ///< detail: the offending version byte
+  kBadCount = 3,     ///< detail: the offending count (0 or > kMaxBatch)
+  kBadFamily = 4,    ///< detail: index of the offending address record
+  kRateLimited = 5,  ///< detail: configured requests/sec
+};
+
+/// Outcome of scanning buffered bytes for one request frame.
+enum class Scan {
+  kNeedMore,  ///< a frame prefix; wait for more bytes
+  kFrame,     ///< a complete, well-formed request frame
+  kError,     ///< malformed; an error frame was appended, close after it
+};
+
+/// Scans `buf` (which must begin with kMagic) for one request frame.
+/// kFrame sets *frame_len to the frame's total size; kError appends
+/// one 8-byte error frame to `err`. Rejects bad opcode/version/count
+/// as soon as the offending byte is buffered, so a hostile header
+/// cannot demand unbounded buffering.
+Scan scan_request(std::string_view buf, std::size_t* frame_len,
+                  std::string& err);
+
+/// Appends one 8-byte error frame.
+void append_error(std::string& out, ErrCode code, std::uint32_t detail);
+
+// ---- client-side encoding (bench, tests, fuzz corpus) -----------------
+
+/// Appends a request header for `count` addresses (unvalidated, so
+/// tests can craft out-of-range headers).
+void append_request_header(std::string& out, std::uint32_t count);
+
+/// Appends one 17-byte address record.
+void append_addr_record(std::string& out, const netbase::IPAddr& addr);
+
+/// Appends a complete request frame for `addrs`.
+void append_request(std::string& out,
+                    const std::vector<netbase::IPAddr>& addrs);
+
+// ---- client-side decoding (bench, tests, fuzz) ------------------------
+
+/// One decoded result record.
+struct ResultRec {
+  std::uint32_t router_as = 0;
+  std::uint32_t conn_as = 0;
+  std::uint32_t router_id = 0;
+  std::uint8_t flags = 0;
+
+  bool found() const noexcept { return (flags & kFlagFound) != 0; }
+  bool border() const noexcept { return (flags & kFlagBorder) != 0; }
+};
+
+/// One decoded error frame.
+struct ErrorFrame {
+  std::uint8_t code = 0;
+  std::uint32_t detail = 0;
+};
+
+/// Decodes a complete response frame into *out (appending). Returns
+/// false if `frame` is not exactly one well-formed response frame.
+bool parse_response(std::string_view frame, std::vector<ResultRec>* out);
+
+/// Decodes a complete 8-byte error frame. Returns false otherwise.
+bool parse_error(std::string_view frame, ErrorFrame* out);
+
+}  // namespace serve::bulk

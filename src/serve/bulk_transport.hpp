@@ -1,0 +1,56 @@
+// serve/bulk_transport.hpp — wiring the BULK protocol into net::Server.
+//
+// Header-only glue shared by apps/bdrmapit_serve, bench/bench_netserve
+// and tests: one factory producing the net::FrameHandler that scans
+// buffered bytes for a BULK request frame and answers it through
+// serve::Protocol::handle_bulk. Scratch buffers are per loop thread
+// (connections never migrate loops, and each loop runs its
+// connections serially), so steady-state bulk serving allocates
+// nothing per request.
+//
+// Kept out of bulk.hpp so the serve library itself never depends on
+// net headers; only executables that link both include this.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "net/server.hpp"
+#include "serve/bulk.hpp"
+#include "serve/protocol.hpp"
+
+namespace serve::bulk {
+
+/// Builds the frame handler for `protocol`. The protocol must outlive
+/// the returned handler (exactly as with the line handler).
+inline net::FrameHandler make_frame_handler(const Protocol& protocol) {
+  return [&protocol](std::string_view buf, std::string& out) {
+    std::size_t frame_len = 0;
+    switch (scan_request(buf, &frame_len, out)) {
+      case Scan::kNeedMore:
+        return net::FrameResult{net::FrameStatus::kNeedMore, 0, 0};
+      case Scan::kError:
+        // The error frame is already in `out`; consume everything
+        // buffered — the connection closes after the flush anyway.
+        return net::FrameResult{net::FrameStatus::kClose, buf.size(), 0};
+      case Scan::kFrame:
+        break;
+    }
+    thread_local Protocol::BulkScratch scratch;
+    const Protocol::BulkOutcome r =
+        protocol.handle_bulk(buf.substr(0, frame_len), out, scratch);
+    if (!r.ok) return net::FrameResult{net::FrameStatus::kClose, frame_len, 0};
+    return net::FrameResult{net::FrameStatus::kHandled, frame_len, r.addrs};
+  };
+}
+
+/// The pre-rendered rate-limit rejection frame for ServerConfig.
+inline std::string rate_limited_frame(double rate_limit) {
+  std::string out;
+  append_error(out, ErrCode::kRateLimited,
+               static_cast<std::uint32_t>(rate_limit));
+  return out;
+}
+
+}  // namespace serve::bulk

@@ -1,25 +1,48 @@
 #include "serve/protocol.hpp"
 
-#include <sstream>
+#include <array>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "netbase/asn.hpp"
 #include "netbase/ip_addr.hpp"
 #include "netbase/prefix.hpp"
+#include "serve/bulk.hpp"
+#include "serve/render.hpp"
 
 namespace serve {
 
 namespace {
 
+// The whitespace istream's `>>` skips in the classic locale, minus
+// '\n' (lines never contain one). Keeping the set identical preserves
+// byte-for-byte reply compatibility with the pre-rewrite tokenizer.
+constexpr const char* kSpaces = " \t\v\f\r";
+
+/// Splits the next whitespace-delimited token off `rest`. Returns an
+/// empty view once exhausted (tokens themselves are never empty).
+std::string_view next_token(std::string_view& rest) {
+  const std::size_t begin = rest.find_first_not_of(kSpaces);
+  if (begin == std::string_view::npos) {
+    rest = {};
+    return {};
+  }
+  std::size_t end = rest.find_first_of(kSpaces, begin);
+  if (end == std::string_view::npos) end = rest.size();
+  const std::string_view token = rest.substr(begin, end - begin);
+  rest.remove_prefix(end);
+  return token;
+}
+
 void append_iface(std::string& out, const SnapshotIface& rec) {
-  out += rec.addr.to_string();
+  rec.addr.append_to(out);
   out += '\t';
-  out += std::to_string(rec.inf.router_as);
+  render::append_u64(out, rec.inf.router_as);
   out += '\t';
-  out += std::to_string(rec.inf.conn_as);
+  render::append_u64(out, rec.inf.conn_as);
   out += '\t';
-  out += rec.inf.flags();
+  rec.inf.append_flags(out);
   out += '\n';
 }
 
@@ -36,8 +59,22 @@ void append_err(std::string& out, std::string_view reason,
 
 void append_end(std::string& out, std::size_t count) {
   out += "END\t";
-  out += std::to_string(count);
+  render::append_u64(out, count);
   out += '\n';
+}
+
+/// Per-thread parse/lookup scratch for multi-address IFACE requests.
+/// handle_line is shared by every server loop; thread-locality keeps
+/// it lock-free while the vectors' capacity persists across requests.
+struct IfaceScratch {
+  std::vector<netbase::IPAddr> addrs;
+  std::vector<std::string_view> raw;
+  std::vector<const SnapshotIface*> recs;
+};
+
+IfaceScratch& iface_scratch() {
+  thread_local IfaceScratch scratch;
+  return scratch;
 }
 
 }  // namespace
@@ -48,40 +85,42 @@ Protocol::Action Protocol::handle_line(std::string_view line,
   // one trailing CR is part of the line terminator, not the request.
   if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
 
-  std::istringstream ss{std::string(line)};
-  std::string cmd;
-  ss >> cmd;
+  std::string_view rest = line;
+  const std::string_view cmd = next_token(rest);
   if (cmd.empty() || cmd[0] == '#') return Action::kContinue;
 
   if (cmd == "QUIT") return Action::kQuit;
 
   if (cmd == "IFACE") {
-    std::vector<netbase::IPAddr> addrs;
-    std::vector<std::string> raw;
-    std::string tok;
-    while (ss >> tok) {
+    IfaceScratch& scratch = iface_scratch();
+    scratch.addrs.clear();
+    scratch.raw.clear();
+    for (std::string_view tok = next_token(rest); !tok.empty();
+         tok = next_token(rest)) {
       const auto a = netbase::IPAddr::parse(tok);
       if (!a) {
         append_err(out, "bad-address", tok);
         return Action::kContinue;
       }
-      addrs.push_back(*a);
-      raw.push_back(tok);
+      scratch.addrs.push_back(*a);
+      scratch.raw.push_back(tok);
     }
-    if (addrs.empty()) {
+    if (scratch.addrs.empty()) {
       append_err(out, "missing-argument", "IFACE");
       return Action::kContinue;
     }
-    const auto recs = store_.find_batch(addrs);
-    for (std::size_t i = 0; i < recs.size(); ++i) {
-      if (recs[i])
-        append_iface(out, *recs[i]);
+    scratch.recs.resize(scratch.addrs.size());
+    store_.find_batch(scratch.addrs.data(), scratch.addrs.size(),
+                      scratch.recs.data());
+    for (std::size_t i = 0; i < scratch.recs.size(); ++i) {
+      if (scratch.recs[i])
+        append_iface(out, *scratch.recs[i]);
       else
-        append_err(out, "not-found", raw[i]);
+        append_err(out, "not-found", scratch.raw[i]);
     }
   } else if (cmd == "PREFIX") {
-    std::string tok;
-    if (!(ss >> tok)) {
+    const std::string_view tok = next_token(rest);
+    if (tok.empty()) {
       append_err(out, "missing-argument", "PREFIX");
       return Action::kContinue;
     }
@@ -94,8 +133,8 @@ Protocol::Action Protocol::handle_line(std::string_view line,
     for (const auto* rec : recs) append_iface(out, *rec);
     append_end(out, recs.size());
   } else if (cmd == "LINKS") {
-    std::string tok;
-    if (!(ss >> tok)) {
+    const std::string_view tok = next_token(rest);
+    if (tok.empty()) {
       append_err(out, "missing-argument", "LINKS");
       return Action::kContinue;
     }
@@ -106,15 +145,15 @@ Protocol::Action Protocol::handle_line(std::string_view line,
     }
     const auto& links = store_.links_of(*asn);
     for (const auto& [a, b] : links) {
-      out += std::to_string(a);
+      render::append_u64(out, a);
       out += '\t';
-      out += std::to_string(b);
+      render::append_u64(out, b);
       out += '\n';
     }
     append_end(out, links.size());
   } else if (cmd == "ROUTER") {
-    std::string tok;
-    if (!(ss >> tok)) {
+    const std::string_view tok = next_token(rest);
+    if (tok.empty()) {
       append_err(out, "missing-argument", "ROUTER");
       return Action::kContinue;
     }
@@ -138,8 +177,8 @@ Protocol::Action Protocol::handle_line(std::string_view line,
     }
     append_end(out, count);
   } else if (cmd == "COUNT") {
-    std::string tok;
-    if (!(ss >> tok)) {
+    const std::string_view tok = next_token(rest);
+    if (tok.empty()) {
       append_err(out, "missing-argument", "COUNT");
       return Action::kContinue;
     }
@@ -148,9 +187,9 @@ Protocol::Action Protocol::handle_line(std::string_view line,
       append_err(out, "bad-asn", tok);
       return Action::kContinue;
     }
-    out += std::to_string(*asn);
+    render::append_u64(out, *asn);
     out += '\t';
-    out += std::to_string(store_.iface_count_of(*asn));
+    render::append_u64(out, store_.iface_count_of(*asn));
     out += '\n';
   } else if (cmd == "STATS") {
     const StoreStats st = store_.stats();
@@ -165,7 +204,7 @@ Protocol::Action Protocol::handle_line(std::string_view line,
     for (const auto& [key, value] : rows) {
       out += key;
       out += '\t';
-      out += std::to_string(value);
+      render::append_u64(out, value);
       out += '\n';
     }
     append_end(out, std::size(rows));
@@ -178,7 +217,7 @@ Protocol::Action Protocol::handle_line(std::string_view line,
     for (const auto& [key, value] : rows) {
       out += key;
       out += '\t';
-      out += std::to_string(value);
+      render::append_u64(out, value);
       out += '\n';
     }
     append_end(out, rows.size());
@@ -186,6 +225,82 @@ Protocol::Action Protocol::handle_line(std::string_view line,
     append_err(out, "unknown-command", cmd);
   }
   return Action::kContinue;
+}
+
+Protocol::BulkOutcome Protocol::handle_bulk(std::string_view frame,
+                                            std::string& out,
+                                            BulkScratch& scratch) const {
+  // Re-validate the frame head defensively: the TCP path hands over
+  // frames delimited by bulk::scan_request, but direct callers (fuzz,
+  // tests) may not.
+  std::size_t frame_len = 0;
+  if (frame.empty() || static_cast<std::uint8_t>(frame[0]) != bulk::kMagic) {
+    bulk::append_error(out, bulk::ErrCode::kBadOpcode,
+                       frame.empty() ? 0 : static_cast<std::uint8_t>(frame[0]));
+    return {};
+  }
+  switch (bulk::scan_request(frame, &frame_len, out)) {
+    case bulk::Scan::kError:
+      return {};
+    case bulk::Scan::kNeedMore:
+      // A truncated frame handed in as if complete: the count promises
+      // more records than the buffer holds.
+      bulk::append_error(out, bulk::ErrCode::kBadCount,
+                         static_cast<std::uint32_t>(frame.size()));
+      return {};
+    case bulk::Scan::kFrame:
+      break;
+  }
+
+  const std::uint32_t count = render::load_u32le(frame.data() + 4);
+  scratch.addrs.resize(count);
+  const char* p = frame.data() + bulk::kHeaderBytes;
+  for (std::uint32_t i = 0; i < count; ++i, p += bulk::kAddrRecBytes) {
+    const auto family = static_cast<std::uint8_t>(p[0]);
+    if (family == 4) {
+      scratch.addrs[i] = netbase::IPAddr::v4(
+          (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 24) |
+          (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+          (static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 8) |
+          static_cast<std::uint32_t>(static_cast<unsigned char>(p[4])));
+    } else if (family == 6) {
+      std::array<std::uint8_t, 16> bytes;
+      std::memcpy(bytes.data(), p + 1, bytes.size());
+      scratch.addrs[i] = netbase::IPAddr::v6(bytes);
+    } else {
+      bulk::append_error(out, bulk::ErrCode::kBadFamily, i);
+      return {};
+    }
+  }
+
+  scratch.recs.resize(count);
+  store_.find_batch(scratch.addrs.data(), count, scratch.recs.data());
+
+  out.reserve(out.size() + bulk::kHeaderBytes +
+              std::size_t{count} * bulk::kResultRecBytes);
+  const char header[4] = {static_cast<char>(bulk::kMagic),
+                          static_cast<char>(bulk::kOpResponse),
+                          static_cast<char>(bulk::kVersion), 0};
+  out.append(header, sizeof header);
+  render::append_u32le(out, count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const SnapshotIface* rec = scratch.recs[i];
+    if (rec == nullptr) {
+      static constexpr char kMiss[bulk::kResultRecBytes] = {};
+      out.append(kMiss, sizeof kMiss);
+      continue;
+    }
+    render::append_u32le(out, rec->inf.router_as);
+    render::append_u32le(out, rec->inf.conn_as);
+    render::append_u32le(out, rec->router_id);
+    std::uint8_t flags = bulk::kFlagFound;
+    if (rec->inf.interdomain()) flags |= bulk::kFlagBorder;
+    if (rec->inf.ixp) flags |= bulk::kFlagIxp;
+    if (!rec->inf.seen_non_echo) flags |= bulk::kFlagEchoOnly;
+    const char tail[4] = {static_cast<char>(flags), 0, 0, 0};
+    out.append(tail, sizeof tail);
+  }
+  return {true, count};
 }
 
 }  // namespace serve

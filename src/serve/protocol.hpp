@@ -3,14 +3,18 @@
 // Protocol owns request framing, command dispatch, and response
 // rendering for the bdrmapit_serve query language (IFACE, PREFIX,
 // LINKS, ROUTER, COUNT, STATS, NETSTATS, QUIT — grammar in
-// docs/SERVING.md). Both front-ends drive it: the stdin REPL in
-// apps/bdrmapit_serve.cpp and the TCP path in src/net/ execute this
-// exact code, so the two transports answer any request stream with
-// byte-identical replies.
+// docs/SERVING.md) plus the binary BULK lookup protocol (serve/bulk.hpp).
+// Both front-ends drive it: the stdin REPL in apps/bdrmapit_serve.cpp
+// and the TCP path in src/net/ execute this exact code, so the two
+// transports answer any request stream with byte-identical replies.
 //
-// handle_line is const and touches only read-only AnnotationStore
-// indexes, so one Protocol instance may be shared by any number of
-// threads (the net::Server worker loops all call into one).
+// handle_line and handle_bulk are const and touch only read-only
+// AnnotationStore indexes, so one Protocol instance may be shared by
+// any number of threads (the net::Server worker loops all call into
+// one). Reply rendering is allocation-free in steady state: fields are
+// formatted through serve/render.hpp into the caller's reusable output
+// buffer, and per-request parse state lives in per-thread (text) or
+// caller-owned (bulk) scratch.
 
 #pragma once
 
@@ -48,6 +52,29 @@ class Protocol {
   /// produce no reply. Never throws on malformed input — bad requests
   /// render an `ERR` reply and the session continues.
   Action handle_line(std::string_view line, std::string& out) const;
+
+  /// Reusable parse/lookup scratch for handle_bulk. The transport owns
+  /// one per thread (the TCP loops) or per driver; its vectors warm up
+  /// to the largest batch seen and are then reused, so steady-state
+  /// bulk serving performs no per-request heap allocation.
+  struct BulkScratch {
+    std::vector<netbase::IPAddr> addrs;
+    std::vector<const SnapshotIface*> recs;
+  };
+
+  /// Outcome of one BULK request frame.
+  struct BulkOutcome {
+    bool ok = false;          ///< false: error frame appended; close after it
+    std::uint32_t addrs = 0;  ///< addresses answered (0 on error)
+  };
+
+  /// Handles one complete BULK request frame (as delimited by
+  /// bulk::scan_request) and appends exactly one frame to `out`: the
+  /// response frame, or an 8-byte error frame on any malformation.
+  /// Never throws; safe on arbitrary bytes (the fuzz harness calls it
+  /// directly).
+  BulkOutcome handle_bulk(std::string_view frame, std::string& out,
+                          BulkScratch& scratch) const;
 
   const AnnotationStore& store() const noexcept { return store_; }
 

@@ -1,0 +1,55 @@
+// serve/render.hpp — allocation-free reply-rendering primitives.
+//
+// The serving layer's hot replies are tab-separated integers (AS
+// numbers, counts, router ids). std::to_string materializes a
+// temporary heap string per field; these helpers format into a stack
+// buffer and append, so a reply built into a capacity-warmed output
+// string performs no heap allocation at all. Both the text protocol
+// (serve/protocol.cpp) and the binary BULK codec (serve/bulk.cpp)
+// render through this header.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace serve::render {
+
+/// Longest decimal uint64_t ("18446744073709551615").
+inline constexpr std::size_t kMaxU64Digits = 20;
+
+/// Formats `v` backwards into the buffer ending at `end` and returns
+/// the first digit's position. `end - kMaxU64Digits` must be valid.
+inline char* format_u64(char* end, std::uint64_t v) noexcept {
+  do {
+    *--end = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  return end;
+}
+
+/// Appends the decimal form of `v` to `out`. Does not allocate when
+/// `out` has spare capacity.
+inline void append_u64(std::string& out, std::uint64_t v) {
+  char buf[kMaxU64Digits];
+  char* begin = format_u64(buf + sizeof buf, v);
+  out.append(begin, buf + sizeof buf);
+}
+
+/// Little-endian u32 store, appended raw — the BULK wire encoding.
+inline void append_u32le(std::string& out, std::uint32_t v) {
+  const char bytes[4] = {
+      static_cast<char>(v & 0xFF), static_cast<char>((v >> 8) & 0xFF),
+      static_cast<char>((v >> 16) & 0xFF), static_cast<char>((v >> 24) & 0xFF)};
+  out.append(bytes, sizeof bytes);
+}
+
+/// Little-endian u32 load from raw wire bytes.
+inline std::uint32_t load_u32le(const char* p) noexcept {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+}  // namespace serve::render

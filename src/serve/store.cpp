@@ -65,10 +65,14 @@ const SnapshotIface* AnnotationStore::longest_match(
 
 std::vector<const SnapshotIface*> AnnotationStore::find_batch(
     const std::vector<netbase::IPAddr>& addrs) const {
-  std::vector<const SnapshotIface*> out;
-  out.reserve(addrs.size());
-  for (const auto& a : addrs) out.push_back(find(a));
+  std::vector<const SnapshotIface*> out(addrs.size());
+  find_batch(addrs.data(), addrs.size(), out.data());
   return out;
+}
+
+void AnnotationStore::find_batch(const netbase::IPAddr* addrs, std::size_t n,
+                                 const SnapshotIface** out) const noexcept {
+  for (std::size_t i = 0; i < n; ++i) out[i] = find(addrs[i]);
 }
 
 std::vector<const SnapshotIface*> AnnotationStore::find_under(

@@ -76,6 +76,12 @@ class AnnotationStore {
   std::vector<const SnapshotIface*> find_batch(
       const std::vector<netbase::IPAddr>& addrs) const;
 
+  /// Batched exact lookup into a caller-provided array of `n` slots —
+  /// one trie pass, no allocation. The BULK reply path and the text
+  /// IFACE hot path answer through this with per-thread scratch.
+  void find_batch(const netbase::IPAddr* addrs, std::size_t n,
+                  const SnapshotIface** out) const noexcept;
+
   /// All interfaces inside `cidr`, in ascending address order.
   std::vector<const SnapshotIface*> find_under(const netbase::Prefix& cidr) const;
 

@@ -1,8 +1,9 @@
 // Tests for the TCP serving layer (src/net/) over real loopback
 // sockets: framing across split and pipelined writes, byte-identity
 // with the stdin driver, backpressure-adjacent limits (oversized
-// lines), idle timeouts, overload shedding, graceful drain, and the
-// listener's failure diagnostics.
+// lines), idle timeouts, overload shedding, graceful drain, the
+// listener's failure diagnostics, the binary BULK protocol (including
+// equivalence with the text replies), and per-connection rate limits.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -21,6 +22,8 @@
 #include <vector>
 
 #include "net/server.hpp"
+#include "serve/bulk.hpp"
+#include "serve/bulk_transport.hpp"
 #include "serve/protocol.hpp"
 #include "serve/store.hpp"
 
@@ -120,24 +123,43 @@ struct Client {
       out->append(buf, static_cast<std::size_t>(n));
     }
   }
+
+  /// Reads exactly `want` bytes (binary frames); short on timeout/EOF.
+  std::string recv_bytes(std::size_t want) const {
+    std::string out;
+    char buf[4096];
+    while (out.size() < want) {
+      const std::size_t chunk = std::min(sizeof buf, want - out.size());
+      const ssize_t n = ::recv(fd, buf, chunk, 0);
+      if (n <= 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    return out;
+  }
 };
 
 class NetServerTest : public ::testing::Test {
  protected:
-  void StartServer(net::ServerConfig config = {}) {
+  void StartServer(net::ServerConfig config = {}, bool bulk = true) {
     store_ = serve::AnnotationStore::open(tiny_snapshot());
     ASSERT_NE(store_, nullptr);
     protocol_ = std::make_unique<serve::Protocol>(*store_, [this] {
       const net::ServerStats st = server_->stats();
       return serve::Protocol::NetStats{
-          {"accepted", st.accepted},   {"active", st.active},
-          {"closed", st.closed},       {"shed", st.shed},
-          {"requests", st.requests},   {"bytes_in", st.bytes_in},
-          {"bytes_out", st.bytes_out},
+          {"accepted", st.accepted},     {"active", st.active},
+          {"closed", st.closed},         {"shed", st.shed},
+          {"requests", st.requests},     {"bytes_in", st.bytes_in},
+          {"bytes_out", st.bytes_out},   {"rate_limited", st.rate_limited},
+          {"bulk_frames", st.frames},    {"bulk_addrs", st.frame_units},
       };
     });
     config.host = "127.0.0.1";
     config.port = 0;  // ephemeral
+    if (bulk) {
+      config.binary_magic = serve::bulk::kMagic;
+      config.rate_limited_frame =
+          serve::bulk::rate_limited_frame(config.rate_limit);
+    }
     server_ = std::make_unique<net::Server>(
         std::move(config),
         [this](std::string_view line, std::string& out) {
@@ -145,7 +167,9 @@ class NetServerTest : public ::testing::Test {
                          serve::Protocol::Action::kQuit
                      ? net::HandlerAction::kClose
                      : net::HandlerAction::kContinue;
-        });
+        },
+        bulk ? serve::bulk::make_frame_handler(*protocol_)
+             : net::FrameHandler{});
     std::string error;
     ASSERT_TRUE(server_->start(&error)) << error;
     port_ = server_->port();
@@ -342,12 +366,30 @@ TEST_F(NetServerTest, NetstatsCountsTraffic) {
   ASSERT_TRUE(client.connected());
   ASSERT_TRUE(client.send_str("IFACE 10.0.0.1\n"));
   ASSERT_EQ(client.recv_lines(1), "10.0.0.1\t65001\t65002\tB\n");
+
+  // One bulk frame of three addresses, so the bulk counters move too.
+  std::string frame;
+  serve::bulk::append_request(
+      frame,
+      {netbase::IPAddr::must_parse("10.0.0.1"),
+       netbase::IPAddr::must_parse("10.0.1.1"),
+       netbase::IPAddr::must_parse("203.0.113.7")});
+  ASSERT_TRUE(client.send_str(frame));
+  const std::string reply = client.recv_bytes(
+      serve::bulk::kHeaderBytes + 3 * serve::bulk::kResultRecBytes);
+  ASSERT_EQ(reply.size(),
+            serve::bulk::kHeaderBytes + 3 * serve::bulk::kResultRecBytes);
+
   ASSERT_TRUE(client.send_str("NETSTATS\n"));
-  const std::string got = client.recv_lines(8);  // 7 rows + END
+  const std::string got = client.recv_lines(11);  // 10 rows + END
   EXPECT_NE(got.find("accepted\t1\n"), std::string::npos) << got;
   EXPECT_NE(got.find("active\t1\n"), std::string::npos) << got;
+  // Bulk frames are not text requests: still 2 lines (IFACE, NETSTATS).
   EXPECT_NE(got.find("requests\t2\n"), std::string::npos) << got;
-  EXPECT_NE(got.find("END\t7\n"), std::string::npos) << got;
+  EXPECT_NE(got.find("rate_limited\t0\n"), std::string::npos) << got;
+  EXPECT_NE(got.find("bulk_frames\t1\n"), std::string::npos) << got;
+  EXPECT_NE(got.find("bulk_addrs\t3\n"), std::string::npos) << got;
+  EXPECT_NE(got.find("END\t10\n"), std::string::npos) << got;
 }
 
 TEST_F(NetServerTest, GracefulShutdownFlushesQueuedReplies) {
@@ -364,6 +406,284 @@ TEST_F(NetServerTest, GracefulShutdownFlushesQueuedReplies) {
   server_->wait();
   EXPECT_EQ(server_->stats().active, 0u);
   server_.reset();  // TearDown would re-shutdown; already joined
+}
+
+// ---- binary BULK protocol ---------------------------------------------
+
+TEST_F(NetServerTest, BulkRepliesAreEquivalentToText) {
+  StartServer();
+  // Hits (v4), misses (v4 and v6) — every record must agree with what
+  // the text protocol answers for the same address.
+  const std::vector<std::string> addrs = {
+      "10.0.0.1", "10.0.0.2", "10.0.1.1", "192.0.2.9",
+      "203.0.113.7",  // miss
+      "2001:db8::1",  // v6 miss
+  };
+  std::vector<netbase::IPAddr> parsed;
+  parsed.reserve(addrs.size());
+  for (const auto& a : addrs) parsed.push_back(netbase::IPAddr::must_parse(a));
+
+  std::string frame;
+  serve::bulk::append_request(frame, parsed);
+  Client client(port_);
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_str(frame));
+  const std::size_t want = serve::bulk::kHeaderBytes +
+                           addrs.size() * serve::bulk::kResultRecBytes;
+  const std::string reply = client.recv_bytes(want);
+  ASSERT_EQ(reply.size(), want);
+
+  std::vector<serve::bulk::ResultRec> recs;
+  ASSERT_TRUE(serve::bulk::parse_response(reply, &recs));
+  ASSERT_EQ(recs.size(), addrs.size());
+
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    std::string text;
+    protocol_->handle_line("IFACE " + addrs[i], text);
+    ASSERT_FALSE(text.empty());
+    text.pop_back();  // trailing newline
+    if (text.compare(0, 4, "ERR\t") == 0) {  // text miss == bulk miss
+      EXPECT_FALSE(recs[i].found()) << addrs[i];
+      EXPECT_EQ(recs[i].router_as, 0u) << addrs[i];
+      EXPECT_EQ(recs[i].conn_as, 0u) << addrs[i];
+      EXPECT_EQ(recs[i].flags, 0) << addrs[i];
+      continue;
+    }
+    // addr \t router_as \t conn_as \t flags
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t tab = text.find('\t', start);
+      fields.push_back(text.substr(start, tab - start));
+      if (tab == std::string::npos) break;
+      start = tab + 1;
+    }
+    ASSERT_EQ(fields.size(), 4u) << text;
+    EXPECT_TRUE(recs[i].found()) << addrs[i];
+    EXPECT_EQ(std::to_string(recs[i].router_as), fields[1]) << addrs[i];
+    EXPECT_EQ(std::to_string(recs[i].conn_as), fields[2]) << addrs[i];
+    EXPECT_EQ(recs[i].border(),
+              fields[3].find('B') != std::string::npos) << addrs[i];
+    EXPECT_EQ((recs[i].flags & serve::bulk::kFlagIxp) != 0,
+              fields[3].find('X') != std::string::npos) << addrs[i];
+    EXPECT_EQ((recs[i].flags & serve::bulk::kFlagEchoOnly) != 0,
+              fields[3].find('E') != std::string::npos) << addrs[i];
+    EXPECT_EQ(recs[i].router_id, store_->find(parsed[i])->router_id)
+        << addrs[i];
+  }
+}
+
+TEST_F(NetServerTest, BulkFrameSplitAcrossWritesReassembles) {
+  StartServer();
+  std::string frame;
+  serve::bulk::append_request(frame,
+                              {netbase::IPAddr::must_parse("10.0.1.1")});
+  Client client(port_);
+  ASSERT_TRUE(client.connected());
+  // Dribble the frame one fragment at a time: header split mid-count,
+  // then the address record split mid-bytes.
+  const std::size_t cuts[] = {3, 6, 8, 15, frame.size()};
+  std::size_t off = 0;
+  for (const std::size_t cut : cuts) {
+    ASSERT_TRUE(client.send_str(
+        std::string_view(frame).substr(off, cut - off)));
+    off = cut;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const std::size_t want =
+      serve::bulk::kHeaderBytes + serve::bulk::kResultRecBytes;
+  const std::string reply = client.recv_bytes(want);
+  std::vector<serve::bulk::ResultRec> recs;
+  ASSERT_TRUE(serve::bulk::parse_response(reply, &recs));
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_TRUE(recs[0].found());
+  EXPECT_EQ(recs[0].router_as, 65002u);
+  EXPECT_EQ(recs[0].conn_as, 65001u);
+}
+
+TEST_F(NetServerTest, MixedTextAndBulkPipelineAnswersInOrder) {
+  StartServer();
+  // text, bulk, text, bulk in ONE send; replies must come back in
+  // request order with both framings intact.
+  std::string stream = "IFACE 10.0.0.1\n";
+  serve::bulk::append_request(stream,
+                              {netbase::IPAddr::must_parse("10.0.1.1")});
+  stream += "COUNT 65001\n";
+  serve::bulk::append_request(stream,
+                              {netbase::IPAddr::must_parse("192.0.2.9"),
+                               netbase::IPAddr::must_parse("203.0.113.7")});
+
+  Client client(port_);
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_str(stream));
+
+  EXPECT_EQ(client.recv_bytes(23), "10.0.0.1\t65001\t65002\tB\n");
+  std::string reply = client.recv_bytes(serve::bulk::kHeaderBytes +
+                                        serve::bulk::kResultRecBytes);
+  std::vector<serve::bulk::ResultRec> recs;
+  ASSERT_TRUE(serve::bulk::parse_response(reply, &recs));
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].router_as, 65002u);
+
+  EXPECT_EQ(client.recv_bytes(8), "65001\t2\n");
+  reply = client.recv_bytes(serve::bulk::kHeaderBytes +
+                            2 * serve::bulk::kResultRecBytes);
+  recs.clear();
+  ASSERT_TRUE(serve::bulk::parse_response(reply, &recs));
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].router_as, 65003u);
+  EXPECT_FALSE(recs[1].found());
+}
+
+TEST_F(NetServerTest, BulkOversizedBatchAnswersErrorFrameAndCloses) {
+  StartServer();
+  std::string frame;
+  serve::bulk::append_request_header(frame, serve::bulk::kMaxBatch + 1);
+  Client client(port_);
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_str(frame));
+  std::string got;
+  ASSERT_TRUE(client.recv_until_eof(&got));  // error frame, then close
+  serve::bulk::ErrorFrame err;
+  ASSERT_TRUE(serve::bulk::parse_error(got, &err)) << got.size();
+  EXPECT_EQ(err.code,
+            static_cast<std::uint8_t>(serve::bulk::ErrCode::kBadCount));
+  EXPECT_EQ(err.detail, serve::bulk::kMaxBatch + 1);
+}
+
+TEST_F(NetServerTest, BulkBadVersionRejectedBeforeFullHeader) {
+  StartServer();
+  Client client(port_);
+  ASSERT_TRUE(client.connected());
+  // Only 3 bytes: magic, opcode, wrong version. The scanner must not
+  // wait for the rest of the header to reject it.
+  const char bad[] = {static_cast<char>(serve::bulk::kMagic),
+                      static_cast<char>(serve::bulk::kOpRequest), 0x02};
+  ASSERT_TRUE(client.send_str(std::string_view(bad, sizeof bad)));
+  std::string got;
+  ASSERT_TRUE(client.recv_until_eof(&got));
+  serve::bulk::ErrorFrame err;
+  ASSERT_TRUE(serve::bulk::parse_error(got, &err)) << got.size();
+  EXPECT_EQ(err.code,
+            static_cast<std::uint8_t>(serve::bulk::ErrCode::kBadVersion));
+  EXPECT_EQ(err.detail, 2u);
+}
+
+TEST_F(NetServerTest, BulkBadFamilyNamesTheOffendingRecord) {
+  StartServer();
+  std::string frame;
+  serve::bulk::append_request_header(frame, 2);
+  serve::bulk::append_addr_record(frame,
+                                  netbase::IPAddr::must_parse("10.0.0.1"));
+  frame += static_cast<char>(9);  // bogus family byte, record index 1
+  frame.append(16, '\0');
+  Client client(port_);
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_str(frame));
+  std::string got;
+  ASSERT_TRUE(client.recv_until_eof(&got));
+  serve::bulk::ErrorFrame err;
+  ASSERT_TRUE(serve::bulk::parse_error(got, &err)) << got.size();
+  EXPECT_EQ(err.code,
+            static_cast<std::uint8_t>(serve::bulk::ErrCode::kBadFamily));
+  EXPECT_EQ(err.detail, 1u);
+}
+
+TEST_F(NetServerTest, BulkTruncatedTrailingFrameClosesSilently) {
+  StartServer();
+  std::string frame;
+  serve::bulk::append_request(frame,
+                              {netbase::IPAddr::must_parse("10.0.0.1")});
+  Client client(port_);
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_str(frame.substr(0, frame.size() - 4)));
+  client.half_close();  // EOF with an incomplete frame buffered
+  std::string got;
+  ASSERT_TRUE(client.recv_until_eof(&got));
+  EXPECT_TRUE(got.empty());  // no reply, no error frame: just close
+}
+
+// ---- per-connection rate limiting -------------------------------------
+
+TEST_F(NetServerTest, RateLimitRejectsTextAfterBurst) {
+  net::ServerConfig config;
+  // A negligible refill rate makes the test deterministic: exactly
+  // `burst` requests pass, the next one is rejected.
+  config.rate_limit = 0.001;
+  config.rate_burst = 2;
+  StartServer(config);
+  Client client(port_);
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_str(
+      "IFACE 10.0.0.1\nIFACE 10.0.0.2\nIFACE 10.0.1.1\n"));
+  std::string got;
+  ASSERT_TRUE(client.recv_until_eof(&got));
+  EXPECT_EQ(got,
+            "10.0.0.1\t65001\t65002\tB\n"
+            "10.0.0.2\t65001\t0\t-\n"
+            "ERR\trate-limited\n");
+  EXPECT_EQ(server_->stats().rate_limited, 1u);
+}
+
+TEST_F(NetServerTest, RateLimitRejectsBulkWithErrorFrame) {
+  net::ServerConfig config;
+  config.rate_limit = 0.001;
+  config.rate_burst = 2;
+  StartServer(config);
+  std::string stream;
+  for (int i = 0; i < 3; ++i)  // one token per FRAME, not per address
+    serve::bulk::append_request(stream,
+                                {netbase::IPAddr::must_parse("10.0.0.1"),
+                                 netbase::IPAddr::must_parse("10.0.1.1")});
+  Client client(port_);
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_str(stream));
+  std::string got;
+  ASSERT_TRUE(client.recv_until_eof(&got));
+  const std::size_t ok_frame =
+      serve::bulk::kHeaderBytes + 2 * serve::bulk::kResultRecBytes;
+  ASSERT_EQ(got.size(), 2 * ok_frame + serve::bulk::kHeaderBytes);
+  std::vector<serve::bulk::ResultRec> recs;
+  ASSERT_TRUE(serve::bulk::parse_response(
+      std::string_view(got).substr(0, ok_frame), &recs));
+  ASSERT_TRUE(serve::bulk::parse_response(
+      std::string_view(got).substr(ok_frame, ok_frame), &recs));
+  serve::bulk::ErrorFrame err;
+  ASSERT_TRUE(serve::bulk::parse_error(
+      std::string_view(got).substr(2 * ok_frame), &err));
+  EXPECT_EQ(err.code,
+            static_cast<std::uint8_t>(serve::bulk::ErrCode::kRateLimited));
+  EXPECT_EQ(server_->stats().rate_limited, 1u);
+}
+
+TEST_F(NetServerTest, RateLimitRefillsOverTime) {
+  net::ServerConfig config;
+  config.rate_limit = 50;  // 1 token per 20ms
+  config.rate_burst = 1;
+  StartServer(config);
+  Client client(port_);
+  ASSERT_TRUE(client.connected());
+  // Spaced slower than the refill period: every request passes.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.send_str("COUNT 65001\n"));
+    EXPECT_EQ(client.recv_lines(1), "65001\t2\n") << i;
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }
+  EXPECT_EQ(server_->stats().rate_limited, 0u);
+}
+
+TEST_F(NetServerTest, NoBulkServerTreatsMagicByteAsText) {
+  StartServer({}, /*bulk=*/false);
+  std::string frame;
+  serve::bulk::append_request(frame,
+                              {netbase::IPAddr::must_parse("10.0.0.1")});
+  frame += '\n';  // terminate the "line" so the text path dispatches it
+  Client client(port_);
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_str(frame));
+  // With binary framing off the bytes are one garbage text line.
+  const std::string got = client.recv_lines(1);
+  EXPECT_EQ(got.compare(0, 4, "ERR\t"), 0) << got;
 }
 
 TEST(NetListener, MalformedHostIsDiagnosed) {

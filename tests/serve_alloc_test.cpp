@@ -1,0 +1,159 @@
+// Allocation accounting for the serving hot paths (ISSUE 7 acceptance
+// gate): once a connection's scratch buffers are warm, answering a
+// request — text IFACE line or binary BULK frame — must not touch the
+// heap. The global operator new/delete are replaced with counting
+// wrappers; each test warms the path once (scratch vectors and the
+// reply string grow to capacity), zeroes the counter, and asserts the
+// steady-state iterations allocate nothing.
+//
+// This is the same code the TCP server runs: serve::Protocol's
+// handle_line/handle_bulk render into a caller-provided reusable
+// string exactly as net::Connection's out_ buffer does.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "netbase/ip_addr.hpp"
+#include "serve/bulk.hpp"
+#include "serve/protocol.hpp"
+#include "serve/store.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<bool> g_counting{false};
+
+}  // namespace
+
+// Counting wrappers. Only the allocation side is counted: frees of
+// memory acquired before counting started are legal in steady state.
+void* operator new(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+class AllocGuard {
+ public:
+  AllocGuard() {
+    g_allocs.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+  }
+  ~AllocGuard() { g_counting.store(false, std::memory_order_relaxed); }
+
+  std::uint64_t count() const {
+    return g_allocs.load(std::memory_order_relaxed);
+  }
+};
+
+serve::Snapshot tiny_snapshot() {
+  serve::Snapshot snap;
+  snap.iterations = 1;
+  snap.iteration_stats.resize(1);
+  snap.router_count = 2;
+  auto iface = [](const char* addr, std::uint32_t router_id,
+                  netbase::Asn router_as, netbase::Asn conn_as) {
+    serve::SnapshotIface rec;
+    rec.addr = netbase::IPAddr::must_parse(addr);
+    rec.router_id = router_id;
+    rec.inf.router_as = router_as;
+    rec.inf.conn_as = conn_as;
+    rec.inf.seen_non_echo = true;
+    return rec;
+  };
+  snap.interfaces.push_back(iface("10.0.0.1", 0, 65001, 65002));
+  snap.interfaces.push_back(iface("10.0.1.1", 1, 65002, 65001));
+  snap.as_links.emplace_back(65001, 65002);
+  return snap;
+}
+
+class ServeAllocTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_ = serve::AnnotationStore::open(tiny_snapshot());
+    ASSERT_NE(store_, nullptr);
+    protocol_ = std::make_unique<serve::Protocol>(*store_);
+  }
+
+  std::unique_ptr<serve::AnnotationStore> store_;
+  std::unique_ptr<serve::Protocol> protocol_;
+};
+
+TEST_F(ServeAllocTest, TextIfacePathIsAllocationFreeWhenWarm) {
+  std::string out;
+  // Warm-up: the reply string and the per-thread parse scratch grow to
+  // their steady-state capacity (hits, misses, multi-address lines).
+  for (int i = 0; i < 4; ++i) {
+    out.clear();
+    protocol_->handle_line("IFACE 10.0.0.1 10.0.1.1 203.0.113.7", out);
+  }
+
+  AllocGuard guard;
+  for (int i = 0; i < 1000; ++i) {
+    out.clear();  // capacity is retained, exactly like Connection::out_
+    protocol_->handle_line("IFACE 10.0.0.1 10.0.1.1 203.0.113.7", out);
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "text IFACE steady state allocated " << guard.count() << " times";
+}
+
+TEST_F(ServeAllocTest, BulkPathIsAllocationFreeWhenWarm) {
+  std::vector<netbase::IPAddr> addrs;
+  for (int i = 0; i < 256; ++i)
+    addrs.push_back(netbase::IPAddr::must_parse(i % 2 == 0 ? "10.0.0.1"
+                                                           : "10.0.1.1"));
+  addrs.push_back(netbase::IPAddr::must_parse("2001:db8::1"));  // miss
+  std::string frame;
+  serve::bulk::append_request(frame, addrs);
+
+  std::string out;
+  serve::Protocol::BulkScratch scratch;
+  for (int i = 0; i < 4; ++i) {  // warm the scratch vectors and reply
+    out.clear();
+    ASSERT_TRUE(protocol_->handle_bulk(frame, out, scratch).ok);
+  }
+
+  AllocGuard guard;
+  for (int i = 0; i < 1000; ++i) {
+    out.clear();
+    const auto r = protocol_->handle_bulk(frame, out, scratch);
+    ASSERT_TRUE(r.ok);
+    ASSERT_EQ(r.addrs, addrs.size());
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "bulk steady state allocated " << guard.count() << " times";
+}
+
+TEST_F(ServeAllocTest, ErrorRepliesAreAllocationFreeWhenWarm) {
+  std::string out;
+  for (int i = 0; i < 4; ++i) {
+    out.clear();
+    protocol_->handle_line("IFACE notanaddress", out);
+    protocol_->handle_line("NOSUCH", out);
+  }
+
+  AllocGuard guard;
+  for (int i = 0; i < 1000; ++i) {
+    out.clear();
+    protocol_->handle_line("IFACE notanaddress", out);
+    protocol_->handle_line("NOSUCH", out);
+  }
+  EXPECT_EQ(guard.count(), 0u);
+}
+
+}  // namespace
