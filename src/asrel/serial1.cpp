@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <istream>
+#include <new>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -9,34 +10,41 @@
 
 namespace asrel {
 
-std::size_t load_serial1(std::istream& in, RelStore& store) {
+std::size_t load_serial1(std::istream& in, RelStore& store) noexcept {
   std::size_t malformed = 0;
-  std::string line;
-  while (std::getline(in, line)) {
-    std::string_view s = line;
-    while (!s.empty() && (s.back() == '\r' || s.back() == ' ')) s.remove_suffix(1);
-    if (s.empty() || s.front() == '#') continue;
-    const std::size_t bar1 = s.find('|');
-    const std::size_t bar2 = bar1 == std::string_view::npos ? std::string_view::npos
-                                                            : s.find('|', bar1 + 1);
-    if (bar2 == std::string_view::npos) {
-      ++malformed;
-      continue;
+  try {
+    std::string line;
+    while (std::getline(in, line)) {
+      std::string_view s = line;
+      while (!s.empty() && (s.back() == '\r' || s.back() == ' ')) s.remove_suffix(1);
+      if (s.empty() || s.front() == '#') continue;
+      const std::size_t bar1 = s.find('|');
+      const std::size_t bar2 = bar1 == std::string_view::npos
+                                   ? std::string_view::npos
+                                   : s.find('|', bar1 + 1);
+      if (bar2 == std::string_view::npos) {
+        ++malformed;
+        continue;
+      }
+      std::size_t bar3 = s.find('|', bar2 + 1);  // optional source column
+      auto a = netbase::parse_asn(s.substr(0, bar1));
+      auto b = netbase::parse_asn(s.substr(bar1 + 1, bar2 - bar1 - 1));
+      std::string_view rel_field =
+          s.substr(bar2 + 1, bar3 == std::string_view::npos ? std::string_view::npos
+                                                            : bar3 - bar2 - 1);
+      if (!a || !b || (rel_field != "-1" && rel_field != "0")) {
+        ++malformed;
+        continue;
+      }
+      if (rel_field == "-1")
+        store.add_p2c(*a, *b);
+      else
+        store.add_p2p(*a, *b);
     }
-    std::size_t bar3 = s.find('|', bar2 + 1);  // optional source column
-    auto a = netbase::parse_asn(s.substr(0, bar1));
-    auto b = netbase::parse_asn(s.substr(bar1 + 1, bar2 - bar1 - 1));
-    std::string_view rel_field =
-        s.substr(bar2 + 1, bar3 == std::string_view::npos ? std::string_view::npos
-                                                          : bar3 - bar2 - 1);
-    if (!a || !b || (rel_field != "-1" && rel_field != "0")) {
-      ++malformed;
-      continue;
-    }
-    if (rel_field == "-1")
-      store.add_p2c(*a, *b);
-    else
-      store.add_p2p(*a, *b);
+  } catch (const std::bad_alloc&) {
+    // noexcept boundary: the line being read when memory ran out is
+    // reported as malformed and the load stops there.
+    ++malformed;
   }
   return malformed;
 }

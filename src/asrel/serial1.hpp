@@ -16,8 +16,10 @@
 namespace asrel {
 
 /// Loads relationships into `store`. Returns the number of malformed
-/// lines. Does not call finalize().
-std::size_t load_serial1(std::istream& in, RelStore& store);
+/// lines. Does not call finalize(). noexcept API boundary: allocation
+/// failure mid-load stops the read and counts the line in flight as
+/// malformed instead of throwing.
+std::size_t load_serial1(std::istream& in, RelStore& store) noexcept;
 
 /// Writes `store` in serial-1 format (each p2p edge once, lower ASN
 /// first).

@@ -55,12 +55,31 @@ netbase::Asn Annotator::top_vote(const std::vector<std::pair<Asn, int>>& votes) 
 // ======================================================================
 // Phase 2: last hops (§5)
 // ======================================================================
+//
+// The last-hop procedure is a rule cascade: try each clause of the
+// paper's Alg. 1 in order, stop at the first that decides. The two
+// drivers below walk constexpr tables of {paper clause, rule method}
+// entries, so adding or reordering a clause is a table edit, not a new
+// branch in a nested if chain.
 
-netbase::Asn Annotator::last_hop_empty_dest(const graph::IR& ir) const {
+namespace {
+
+// One cascade step. apply() returns the final annotation when the rule
+// decides — an engaged optional, possibly kNoAs — and nullopt to fall
+// through to the next rule. paper_rule names the clause implemented.
+struct LastHopRule {
+  const char* paper_rule;
+  std::optional<netbase::Asn> (Annotator::*apply)(const graph::IR&) const;
+};
+
+}  // namespace
+
+// §5.1: an origin AS with a relationship to every other origin AS. A
+// single candidate is min_cone of itself, so one call covers both the
+// unique and the reallocated-prefix (smallest-cone) outcomes.
+std::optional<netbase::Asn> Annotator::lh_origin_related_to_all(
+    const graph::IR& ir) const {
   const auto& origins = ir.origin_set;
-  if (origins.empty()) return kNoAs;
-
-  // An origin AS with a relationship to every other origin AS.
   std::vector<Asn> related_to_all;
   for (Asn a : origins) {
     bool all = true;
@@ -71,88 +90,127 @@ netbase::Asn Annotator::last_hop_empty_dest(const graph::IR& ir) const {
       }
     if (all) related_to_all.push_back(a);
   }
-  if (related_to_all.size() == 1) return related_to_all.front();
-  if (related_to_all.size() > 1) return min_cone(related_to_all);
+  if (related_to_all.empty()) return std::nullopt;
+  return min_cone(related_to_all);
+}
 
-  // An AS outside the set with a relationship to every member: it is
-  // the network the router interconnects with all of them.
+// §5.1: an AS outside the set with a relationship to every member — it
+// is the network the router interconnects with all of them.
+std::optional<netbase::Asn> Annotator::lh_outside_related_to_all(
+    const graph::IR& ir) const {
+  const auto& origins = ir.origin_set;
   std::vector<Asn> outside;
-  {
-    const Asn o0 = origins.front();
-    std::unordered_set<Asn> cands;
-    for (Asn n : rels_.customers(o0)) cands.insert(n);
-    for (Asn n : rels_.providers(o0)) cands.insert(n);
-    for (Asn n : rels_.peers(o0)) cands.insert(n);
-    for (Asn c : cands) {
-      if (graph::set_contains(origins, c)) continue;
-      bool all = true;
-      for (Asn o : origins)
-        if (!rels_.has_relationship(c, o)) {
-          all = false;
-          break;
-        }
-      if (all) outside.push_back(c);
-    }
+  const Asn o0 = origins.front();
+  std::unordered_set<Asn> cands;
+  for (Asn n : rels_.customers(o0)) cands.insert(n);
+  for (Asn n : rels_.providers(o0)) cands.insert(n);
+  for (Asn n : rels_.peers(o0)) cands.insert(n);
+  for (Asn c : cands) {
+    if (graph::set_contains(origins, c)) continue;
+    bool all = true;
+    for (Asn o : origins)
+      if (!rels_.has_relationship(c, o)) {
+        all = false;
+        break;
+      }
+    if (all) outside.push_back(c);
   }
-  if (!outside.empty()) return min_cone(outside);
+  if (outside.empty()) return std::nullopt;
+  return min_cone(outside);
+}
 
-  // Fall back to the origin with the most interface mappings.
+// §5.1 fallback: the origin with the most interface mappings. Always
+// decides.
+std::optional<netbase::Asn> Annotator::lh_top_origin_vote(
+    const graph::IR& ir) const {
   return top_vote(to_votes(ir.origin_votes));
 }
 
-netbase::Asn Annotator::last_hop_with_dest(const graph::IR& ir) const {
-  const auto& D = ir.dest_asns;
-  const auto& O = ir.origin_set;
-
-  // Overlapping ASes (Alg. 1 line 3): multiple overlaps mean a
-  // reallocated prefix; pick the likely customer (smallest cone).
+// Alg. 1 line 3: destination ASes overlapping the origin set; multiple
+// overlaps mean a reallocated prefix — pick the likely customer
+// (smallest cone, which a singleton trivially is).
+std::optional<netbase::Asn> Annotator::lh_dest_origin_overlap(
+    const graph::IR& ir) const {
   std::vector<Asn> overlap;
-  for (Asn d : D)
-    if (graph::set_contains(O, d)) overlap.push_back(d);
-  if (overlap.size() == 1) return overlap.front();
-  if (overlap.size() > 1) return min_cone(overlap);
+  for (Asn d : ir.dest_asns)
+    if (graph::set_contains(ir.origin_set, d)) overlap.push_back(d);
+  if (overlap.empty()) return std::nullopt;
+  return min_cone(overlap);
+}
 
-  // Destination ASes related to an origin AS (lines 4-6): pick the one
-  // covering the most destinations (largest |cone(d) ∩ D|) — the
-  // likely transit provider for the others.
+// Alg. 1 lines 4-6: destination ASes related to an origin AS; pick the
+// one covering the most destinations (largest |cone(d) ∩ D|) — the
+// likely transit provider for the others.
+std::optional<netbase::Asn> Annotator::lh_dest_related_best_cover(
+    const graph::IR& ir) const {
+  const auto& D = ir.dest_asns;
   std::vector<Asn> d_rel;
   for (Asn d : D)
-    for (Asn o : O)
+    for (Asn o : ir.origin_set)
       if (rels_.has_relationship(d, o)) {
         d_rel.push_back(d);
         break;
       }
-  if (!d_rel.empty()) {
-    Asn best = kNoAs;
-    std::size_t best_overlap = 0;
-    std::size_t best_cone = 0;
-    for (Asn d : d_rel) {
-      std::size_t ov = 0;
-      for (Asn x : D)
-        if (rels_.in_cone(d, x)) ++ov;
-      const std::size_t c = rels_.cone_size(d);
-      if (best == kNoAs || ov > best_overlap ||
-          (ov == best_overlap && (c < best_cone || (c == best_cone && d < best)))) {
-        best = d;
-        best_overlap = ov;
-        best_cone = c;
-      }
+  if (d_rel.empty()) return std::nullopt;
+  Asn best = kNoAs;
+  std::size_t best_overlap = 0;
+  std::size_t best_cone = 0;
+  for (Asn d : d_rel) {
+    std::size_t ov = 0;
+    for (Asn x : D)
+      if (rels_.in_cone(d, x)) ++ov;
+    const std::size_t c = rels_.cone_size(d);
+    if (best == kNoAs || ov > best_overlap ||
+        (ov == best_overlap && (c < best_cone || (c == best_cone && d < best)))) {
+      best = d;
+      best_overlap = ov;
+      best_cone = c;
     }
-    return best;
   }
+  return best;
+}
 
-  // No relationship at all (lines 7-10): look for a single AS bridging
-  // origins and destinations (customer of an origin, provider of a
-  // destination); otherwise the smallest-cone destination.
-  const Asn a = min_cone(D);
+// Alg. 1 lines 7-10: no relationship at all — look for a single AS
+// bridging origins and destinations (customer of an origin, provider
+// of a destination); otherwise the smallest-cone destination. Always
+// decides.
+std::optional<netbase::Asn> Annotator::lh_bridge_or_min_cone_dest(
+    const graph::IR& ir) const {
+  const Asn a = min_cone(ir.dest_asns);
   std::unordered_set<Asn> origin_customers;
-  for (Asn o : O)
+  for (Asn o : ir.origin_set)
     for (Asn c : rels_.customers(o)) origin_customers.insert(c);
   std::vector<Asn> bridge;
   for (Asn p : rels_.providers(a))
     if (origin_customers.contains(p)) bridge.push_back(p);
   if (bridge.size() == 1) return bridge.front();
   return a;
+}
+
+netbase::Asn Annotator::last_hop_empty_dest(const graph::IR& ir) const {
+  if (ir.origin_set.empty()) return kNoAs;
+  static constexpr LastHopRule kRules[] = {
+      {"§5.1 origin related to all origins", &Annotator::lh_origin_related_to_all},
+      {"§5.1 outside AS related to all origins",
+       &Annotator::lh_outside_related_to_all},
+      {"§5.1 most interface mappings", &Annotator::lh_top_origin_vote},
+  };
+  for (const LastHopRule& rule : kRules)
+    if (const std::optional<Asn> a = (this->*rule.apply)(ir)) return *a;
+  return kNoAs;
+}
+
+netbase::Asn Annotator::last_hop_with_dest(const graph::IR& ir) const {
+  static constexpr LastHopRule kRules[] = {
+      {"Alg.1 line 3 dest/origin overlap", &Annotator::lh_dest_origin_overlap},
+      {"Alg.1 lines 4-6 related dest, best cover",
+       &Annotator::lh_dest_related_best_cover},
+      {"Alg.1 lines 7-10 hidden bridge / min-cone dest",
+       &Annotator::lh_bridge_or_min_cone_dest},
+  };
+  for (const LastHopRule& rule : kRules)
+    if (const std::optional<Asn> a = (this->*rule.apply)(ir)) return *a;
+  return kNoAs;
 }
 
 void Annotator::annotate_last_hops() {

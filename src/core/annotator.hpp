@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "asrel/relstore.hpp"
@@ -100,6 +101,20 @@ class Annotator {
   /// Alg. 3 against the same snapshot.
   netbase::Asn link_vote(const graph::Link& l,
                          const std::vector<netbase::Asn>& ir_annot) const;
+
+  // ---- §5 last-hop rule cascade ------------------------------------
+  // One method per clause of the paper's last-hop procedure. Each
+  // returns nullopt when its precondition does not hold (fall through
+  // to the next rule) and the final annotation — possibly kNoAs — when
+  // it decides. last_hop_empty_dest / last_hop_with_dest walk tables
+  // of these in paper order, so the cascade's structure is data, not
+  // nested control flow.
+  std::optional<netbase::Asn> lh_origin_related_to_all(const graph::IR& ir) const;
+  std::optional<netbase::Asn> lh_outside_related_to_all(const graph::IR& ir) const;
+  std::optional<netbase::Asn> lh_top_origin_vote(const graph::IR& ir) const;
+  std::optional<netbase::Asn> lh_dest_origin_overlap(const graph::IR& ir) const;
+  std::optional<netbase::Asn> lh_dest_related_best_cover(const graph::IR& ir) const;
+  std::optional<netbase::Asn> lh_bridge_or_min_cone_dest(const graph::IR& ir) const;
 
   /// §6.2 choice for one interface (reads IR annotations, which are
   /// frozen during an interface sweep).

@@ -1,0 +1,128 @@
+// core/thread_annotations.hpp — compile-time concurrency contracts.
+//
+// Wrappers for Clang's capability analysis (-Wthread-safety): every
+// mutex, condition variable, and piece of shared state in the tree
+// declares its locking contract through the BDRMAPIT_* macros below,
+// and Clang proves on every build that the contract is followed —
+// unguarded reads, missing-lock calls, and double acquisitions become
+// compile errors instead of TSan findings. Under any other compiler
+// the macros expand to nothing and the wrappers are plain std types.
+//
+// The vocabulary (docs/TOOLING.md has the full catalogue and recipes):
+//
+//   BDRMAPIT_CAPABILITY("mutex")   class is a capability (lockable)
+//   BDRMAPIT_SCOPED_CAPABILITY     RAII class acquiring in ctor
+//   BDRMAPIT_GUARDED_BY(mu)       member readable/writable only with mu
+//   BDRMAPIT_REQUIRES(mu)         caller must hold mu
+//   BDRMAPIT_ACQUIRE(mu) / BDRMAPIT_RELEASE(mu)
+//   BDRMAPIT_EXCLUDES(mu)         caller must NOT hold mu
+//   BDRMAPIT_ASSERT_CAPABILITY(x) runtime-checked "I am on x"
+//   BDRMAPIT_RETURN_CAPABILITY(x) getter returns the capability
+//   BDRMAPIT_NO_THREAD_SAFETY_ANALYSIS  opt a function out
+//
+// Capabilities need not be mutexes: net::EventLoop is a capability
+// ("this code runs on the loop thread"), asserted at runtime by
+// EventLoop::assert_in_loop() and propagated at compile time through
+// BDRMAPIT_REQUIRES(loop_) on every loop-confined function.
+//
+// The gate is wired as -Werror under BDRMAPIT_THREAD_SAFETY=ON (the
+// default for Clang builds); tests/annotations_compile_test/ proves it
+// rejects seeded violations.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define BDRMAPIT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BDRMAPIT_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define BDRMAPIT_CAPABILITY(x) BDRMAPIT_THREAD_ANNOTATION(capability(x))
+#define BDRMAPIT_SCOPED_CAPABILITY BDRMAPIT_THREAD_ANNOTATION(scoped_lockable)
+#define BDRMAPIT_GUARDED_BY(x) BDRMAPIT_THREAD_ANNOTATION(guarded_by(x))
+#define BDRMAPIT_PT_GUARDED_BY(x) BDRMAPIT_THREAD_ANNOTATION(pt_guarded_by(x))
+#define BDRMAPIT_REQUIRES(...) \
+  BDRMAPIT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define BDRMAPIT_ACQUIRE(...) \
+  BDRMAPIT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define BDRMAPIT_RELEASE(...) \
+  BDRMAPIT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define BDRMAPIT_EXCLUDES(...) \
+  BDRMAPIT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define BDRMAPIT_ASSERT_CAPABILITY(x) \
+  BDRMAPIT_THREAD_ANNOTATION(assert_capability(x))
+#define BDRMAPIT_RETURN_CAPABILITY(x) \
+  BDRMAPIT_THREAD_ANNOTATION(lock_returned(x))
+#define BDRMAPIT_NO_THREAD_SAFETY_ANALYSIS \
+  BDRMAPIT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace core {
+
+class CondVar;
+
+/// std::mutex carrying the capability attribute, so members can be
+/// declared BDRMAPIT_GUARDED_BY(mu_) and functions BDRMAPIT_REQUIRES(mu_).
+class BDRMAPIT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BDRMAPIT_ACQUIRE() { mu_.lock(); }
+  void unlock() BDRMAPIT_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a core::Mutex; the analysis tracks the held
+/// capability for the object's scope.
+class BDRMAPIT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) BDRMAPIT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() BDRMAPIT_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+};
+
+/// Condition variable waiting on a held MutexLock. Only the bare
+/// wait() is offered: the predicate-lambda shorthand is deliberately
+/// absent, because the analysis examines a lambda body in isolation —
+/// without the caller's held capability — and would reject every
+/// guarded-state predicate. Callers write the explicit loop:
+///
+///   core::MutexLock lock(mu_);
+///   while (!ready_) cv_.wait(lock);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases lock's mutex and blocks until notified; the
+  /// mutex is held again on return. From the analysis's view the
+  /// capability stays held across the call — matching the caller's
+  /// critical section, inside which wait() may spuriously return.
+  void wait(MutexLock& lock) {
+    std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with `lock`
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace core

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 
 #include "net/server.hpp"
 
@@ -17,6 +18,16 @@ constexpr std::size_t kReadChunk = 64 * 1024;
 // Compact wbuf_ once the written prefix crosses this, instead of on
 // every flush, so steady pipelining does not memmove per syscall.
 constexpr std::size_t kCompactThreshold = 256 * 1024;
+
+// Renders "ERR\tline-too-long\t<limit>\n" through a stack buffer: the
+// rejection branch stays on the zero-allocation reply path (no
+// std::to_string temporaries).
+void append_line_too_long(std::string& out, std::size_t limit) {
+  char buf[64];
+  const int n =
+      std::snprintf(buf, sizeof buf, "ERR\tline-too-long\t%zu\n", limit);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
 }  // namespace
 
 Connection::Connection(Server& server, EventLoop& loop,
@@ -37,9 +48,12 @@ Connection::~Connection() {
 }
 
 void Connection::start() {
+  loop_.assert_in_loop();
   interest_ = EPOLLIN;
-  loop_.add_fd(fd_, interest_,
-               [this](std::uint32_t events) { on_events(events); });
+  loop_.add_fd(fd_, interest_, [this](std::uint32_t events) {
+    loop_.assert_in_loop();
+    on_events(events);
+  });
 }
 
 void Connection::on_events(std::uint32_t events) {
@@ -130,7 +144,7 @@ void Connection::process_input() {
     const std::size_t limit = server_.config().max_line_bytes;
     if (nl == std::string::npos) {
       if (rbuf_.size() - rpos_ > limit) {
-        out_ += "ERR\tline-too-long\t" + std::to_string(limit) + "\n";
+        append_line_too_long(out_, limit);
         want_close_ = true;
         rbuf_.clear();
         rpos_ = 0;
@@ -151,7 +165,7 @@ void Connection::process_input() {
       break;
     }
     if (nl - rpos_ > limit) {
-      out_ += "ERR\tline-too-long\t" + std::to_string(limit) + "\n";
+      append_line_too_long(out_, limit);
       want_close_ = true;
       break;
     }
@@ -258,12 +272,14 @@ void Connection::update_interest() {
 }
 
 void Connection::begin_drain() {
+  loop_.assert_in_loop();
   if (closed()) return;
   want_close_ = true;
   pump();
 }
 
 void Connection::check_idle(Clock::time_point now) {
+  loop_.assert_in_loop();
   if (closed()) return;
   if (now - last_active_ >= server_.config().idle_timeout) close();
 }

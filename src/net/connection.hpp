@@ -37,6 +37,12 @@
 // immediately but defers object destruction through Server::release,
 // which posts the erase to the owning loop — so a Connection is never
 // destroyed while one of its own frames is on the stack.
+//
+// Thread confinement is a compile-time contract: every member is
+// BDRMAPIT_GUARDED_BY(loop_), the internal machinery is
+// BDRMAPIT_REQUIRES(loop_), and each entry point re-establishes the
+// capability with loop_.assert_in_loop() — which also runtime-checks
+// the calling thread.
 
 #pragma once
 
@@ -44,6 +50,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/thread_annotations.hpp"
 #include "net/event_loop.hpp"
 
 namespace net {
@@ -60,8 +67,8 @@ class Connection {
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
-  int fd() const noexcept { return fd_; }
-  bool closed() const noexcept { return fd_ < 0; }
+  int fd() const noexcept BDRMAPIT_REQUIRES(loop_) { return fd_; }
+  bool closed() const noexcept BDRMAPIT_REQUIRES(loop_) { return fd_ < 0; }
 
   /// Registers with the loop and starts reading. Loop thread only.
   void start();
@@ -73,46 +80,47 @@ class Connection {
   void check_idle(Clock::time_point now);
 
  private:
-  void on_events(std::uint32_t events);
-  void on_readable();
+  void on_events(std::uint32_t events) BDRMAPIT_REQUIRES(loop_);
+  void on_readable() BDRMAPIT_REQUIRES(loop_);
   /// Parses complete requests (text lines and binary frames) out of
   /// rbuf_ and dispatches them, stopping early on backpressure, QUIT,
   /// or a framing violation. Replies render into out_.
-  void process_input();
+  void process_input() BDRMAPIT_REQUIRES(loop_);
   /// Vectored write of wbuf_'s tail plus out_'s fresh bytes; whatever
   /// the socket does not take of out_ is queued into wbuf_.
-  void flush();
+  void flush() BDRMAPIT_REQUIRES(loop_);
   /// process → flush → resume cycle; settles interest or closes.
-  void pump();
-  void update_interest();
-  void close();
+  void pump() BDRMAPIT_REQUIRES(loop_);
+  void update_interest() BDRMAPIT_REQUIRES(loop_);
+  void close() BDRMAPIT_REQUIRES(loop_);
   /// Takes one rate-limit token; counts the rejection when over limit.
-  bool take_token();
+  bool take_token() BDRMAPIT_REQUIRES(loop_);
 
-  std::size_t outbound() const noexcept {
+  std::size_t outbound() const noexcept BDRMAPIT_REQUIRES(loop_) {
     return (wbuf_.size() - woff_) + out_.size();
   }
 
   Server& server_;
-  EventLoop& loop_;
+  EventLoop& loop_;  ///< owning loop; the capability guarding the rest
   const std::size_t loop_index_;
-  int fd_;
+  int fd_ BDRMAPIT_GUARDED_BY(loop_);
 
-  std::string rbuf_;       ///< unparsed request bytes
-  std::size_t rpos_ = 0;   ///< start of the first unparsed request
-  std::string wbuf_;       ///< queued reply bytes awaiting the socket
-  std::size_t woff_ = 0;   ///< already-written prefix of wbuf_
-  std::string out_;        ///< fresh reply bytes rendered this pump
-  std::uint32_t interest_ = 0;  ///< current epoll mask
+  std::string rbuf_ BDRMAPIT_GUARDED_BY(loop_);      ///< unparsed request bytes
+  std::size_t rpos_ BDRMAPIT_GUARDED_BY(loop_) = 0;  ///< first unparsed byte
+  std::string wbuf_ BDRMAPIT_GUARDED_BY(loop_);  ///< queued replies awaiting
+                                                 ///< the socket
+  std::size_t woff_ BDRMAPIT_GUARDED_BY(loop_) = 0;  ///< written wbuf_ prefix
+  std::string out_ BDRMAPIT_GUARDED_BY(loop_);  ///< fresh replies this pump
+  std::uint32_t interest_ BDRMAPIT_GUARDED_BY(loop_) = 0;  ///< epoll mask
 
-  bool paused_ = false;      ///< reading stopped by backpressure
-  bool eof_ = false;         ///< client half-closed
-  bool want_close_ = false;  ///< flush remaining replies, then close
-  Clock::time_point last_active_;
+  bool paused_ BDRMAPIT_GUARDED_BY(loop_) = false;  ///< backpressure pause
+  bool eof_ BDRMAPIT_GUARDED_BY(loop_) = false;     ///< client half-closed
+  bool want_close_ BDRMAPIT_GUARDED_BY(loop_) = false;  ///< flush, then close
+  Clock::time_point last_active_ BDRMAPIT_GUARDED_BY(loop_);
 
-  double tokens_ = 0;        ///< rate-limit bucket fill
-  double burst_ = 0;         ///< bucket depth (resolved from config)
-  Clock::time_point bucket_time_;  ///< last refill
+  double tokens_ BDRMAPIT_GUARDED_BY(loop_) = 0;  ///< rate-limit bucket fill
+  double burst_ BDRMAPIT_GUARDED_BY(loop_) = 0;   ///< bucket depth
+  Clock::time_point bucket_time_ BDRMAPIT_GUARDED_BY(loop_);  ///< last refill
 };
 
 }  // namespace net

@@ -5,10 +5,19 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
 namespace net {
+
+void EventLoop::assert_in_loop() const noexcept {
+  const std::thread::id bound = thread_id_.load(std::memory_order_acquire);
+  // Unbound: the single-threaded setup phase before run(); any caller
+  // may touch loop-confined state because no loop thread exists yet.
+  if (bound == std::thread::id()) return;
+  if (bound != std::this_thread::get_id()) std::abort();
+}
 
 EventLoop::EventLoop() {
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
@@ -59,7 +68,7 @@ void EventLoop::del_fd(int fd) {
 
 void EventLoop::post(std::function<void()> fn) {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::MutexLock lock(mu_);
     pending_.push_back(std::move(fn));
   }
   wake();
@@ -80,13 +89,18 @@ void EventLoop::wake() noexcept {
 void EventLoop::run_pending() {
   std::vector<std::function<void()>> tasks;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const core::MutexLock lock(mu_);
     tasks.swap(pending_);
   }
   for (auto& task : tasks) task();
 }
 
 void EventLoop::run() {
+  // Bind the loop to this thread: from here on, assert_in_loop()
+  // vouches only for the running thread.
+  thread_id_.store(std::this_thread::get_id(), std::memory_order_release);
+  assert_in_loop();
+
   using Clock = std::chrono::steady_clock;
   constexpr int kMaxEvents = 128;
   epoll_event events[kMaxEvents];

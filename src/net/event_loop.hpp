@@ -8,6 +8,14 @@
 // (add_fd/mod_fd/del_fd and the callbacks themselves) must happen on
 // the loop thread, or before run() starts.
 //
+// That confinement rule is a compile-time contract: the EventLoop is
+// itself a capability (core/thread_annotations.hpp), loop-confined
+// state is BDRMAPIT_GUARDED_BY the loop, and loop-confined entry
+// points are BDRMAPIT_REQUIRES(this). Code running on the loop thread
+// states so with assert_in_loop(), which doubles as a runtime
+// thread-identity check — so both Clang's analysis and a Debug run
+// catch a callback invoked from the wrong thread.
+//
 // A periodic tick (set_tick) drives time-based housekeeping — idle
 // sweeps and drain checks in net::Server — without per-connection
 // timer fds. Level-triggered epoll keeps the dispatch logic simple:
@@ -20,13 +28,15 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
+
 namespace net {
 
-class EventLoop {
+class BDRMAPIT_CAPABILITY("EventLoop") EventLoop {
  public:
   using FdCallback = std::function<void(std::uint32_t events)>;
 
@@ -38,46 +48,58 @@ class EventLoop {
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
+  /// Declares that the caller runs on this loop's thread (or in the
+  /// single-threaded setup phase before run() binds one). Aborts if
+  /// that is false; tells the capability analysis the loop-confinement
+  /// capability is held for the rest of the scope. Every loop callback
+  /// and pre-run setup block calls this before touching loop-confined
+  /// state.
+  void assert_in_loop() const noexcept BDRMAPIT_ASSERT_CAPABILITY(this);
+
   /// Registers `fd` with interest `events` (EPOLLIN/EPOLLOUT/...).
   /// Loop-thread only (or before run()).
-  void add_fd(int fd, std::uint32_t events, FdCallback cb);
+  void add_fd(int fd, std::uint32_t events, FdCallback cb)
+      BDRMAPIT_REQUIRES(this);
 
   /// Changes the interest mask of a registered fd. Loop-thread only.
-  void mod_fd(int fd, std::uint32_t events);
+  void mod_fd(int fd, std::uint32_t events) BDRMAPIT_REQUIRES(this);
 
   /// Unregisters `fd`. Pending readiness events already harvested for
   /// it in the current iteration are discarded. Loop-thread only.
-  void del_fd(int fd);
+  void del_fd(int fd) BDRMAPIT_REQUIRES(this);
 
   /// Enqueues `fn` to run on the loop thread after the current event
   /// batch. Thread-safe; wakes a sleeping loop.
-  void post(std::function<void()> fn);
+  void post(std::function<void()> fn) BDRMAPIT_EXCLUDES(mu_);
 
   /// Installs a periodic callback, fired roughly every `period` while
   /// the loop runs. Call before run().
-  void set_tick(std::chrono::milliseconds period, std::function<void()> fn);
+  void set_tick(std::chrono::milliseconds period, std::function<void()> fn)
+      BDRMAPIT_REQUIRES(this);
 
-  /// Dispatches events until stop(). Runs posted tasks after each
-  /// event batch and the tick when due.
-  void run();
+  /// Dispatches events until stop(). Binds the loop to the calling
+  /// thread, runs posted tasks after each event batch and the tick
+  /// when due.
+  void run() BDRMAPIT_EXCLUDES(mu_);
 
   /// Asks run() to return after the current iteration. Thread-safe.
   void stop() noexcept;
 
  private:
   void wake() noexcept;
-  void run_pending();
+  void run_pending() BDRMAPIT_EXCLUDES(mu_);
 
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   std::atomic<bool> stop_flag_{false};
+  std::atomic<std::thread::id> thread_id_{};  ///< bound at run() entry
 
-  std::mutex mu_;  ///< guards pending_
-  std::vector<std::function<void()>> pending_;
+  core::Mutex mu_;
+  std::vector<std::function<void()>> pending_ BDRMAPIT_GUARDED_BY(mu_);
 
-  std::unordered_map<int, FdCallback> fds_;  ///< loop-thread only
-  std::chrono::milliseconds tick_period_{0};
-  std::function<void()> tick_;
+  std::unordered_map<int, FdCallback> fds_ BDRMAPIT_GUARDED_BY(this);
+  std::chrono::milliseconds tick_period_ BDRMAPIT_GUARDED_BY(this){0};
+  std::function<void()> tick_ BDRMAPIT_GUARDED_BY(this);
 };
 
 }  // namespace net

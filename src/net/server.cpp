@@ -24,13 +24,9 @@ Server::~Server() {
 }
 
 bool Server::start(std::string* error) {
-  listener_ = Listener::open(config_.host, config_.port, error);
-  if (!listener_) return false;
-
   shutdown_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   if (shutdown_fd_ < 0) {
     if (error) *error = "eventfd: shutdown channel unavailable";
-    listener_.reset();
     return false;
   }
 
@@ -38,26 +34,48 @@ bool Server::start(std::string* error) {
   loops_.reserve(n_loops);
   for (unsigned i = 0; i < n_loops; ++i)
     loops_.push_back(std::make_unique<LoopState>());
+  acceptor_ = &loops_[0]->loop;
+  // Setup phase: no loop thread runs yet, so the single-threaded
+  // assertion below holds for every loop-confined touch in this
+  // function (the runtime check passes while a loop is unbound).
+  acceptor_->assert_in_loop();
+
+  listener_ = Listener::open(config_.host, config_.port, error);
+  if (!listener_) {
+    loops_.clear();
+    acceptor_ = nullptr;
+    ::close(shutdown_fd_);
+    shutdown_fd_ = -1;
+    return false;
+  }
+  // Snapshot the resolved port now: port() must answer race-free from
+  // any thread, including after a drain tears the listener down.
+  bound_port_ = listener_->port();
 
   // Loop 0 is the acceptor: it owns the listening socket and the
   // shutdown eventfd alongside its share of connections.
-  loops_[0]->loop.add_fd(listener_->fd(), EPOLLIN,
-                         [this](std::uint32_t) { on_acceptable(); });
-  loops_[0]->loop.add_fd(shutdown_fd_, EPOLLIN, [this](std::uint32_t) {
+  acceptor_->add_fd(listener_->fd(), EPOLLIN, [this](std::uint32_t) {
+    acceptor_->assert_in_loop();
+    on_acceptable();
+  });
+  acceptor_->add_fd(shutdown_fd_, EPOLLIN, [this](std::uint32_t) {
     std::uint64_t drained = 0;
     [[maybe_unused]] const ssize_t r =
         ::read(shutdown_fd_, &drained, sizeof drained);
+    acceptor_->assert_in_loop();
     begin_shutdown();
   });
 
   for (std::size_t i = 0; i < loops_.size(); ++i) {
     LoopState& state = *loops_[i];
-    state.loop.set_tick(config_.tick_period, [this, &state, i] {
+    state.loop.assert_in_loop();
+    state.loop.set_tick(config_.tick_period, [this, &state] {
+      state.loop.assert_in_loop();
       const Connection::Clock::time_point now = Connection::Clock::now();
       // check_idle may close a connection, but destruction is deferred
       // through release(), so iterating the live map here is safe.
       for (auto& [conn, owned] : state.conns) conn->check_idle(now);
-      maybe_stop_loop(i);
+      maybe_stop_loop(state);
     });
     state.thread = std::thread([&state, i] {
       parallel::set_current_thread_name(
@@ -69,9 +87,7 @@ bool Server::start(std::string* error) {
   return true;
 }
 
-std::uint16_t Server::port() const noexcept {
-  return listener_ ? listener_->port() : bound_port_;
-}
+std::uint16_t Server::port() const noexcept { return bound_port_; }
 
 void Server::on_acceptable() {
   for (;;) {
@@ -91,6 +107,7 @@ void Server::on_acceptable() {
     // Registration must happen on the owning loop's thread; hand the
     // raw fd across and build the Connection there.
     state.loop.post([this, &state, idx, cfd] {
+      state.loop.assert_in_loop();
       auto conn = std::make_unique<Connection>(*this, state.loop, idx, cfd);
       Connection* raw = conn.get();
       state.conns.emplace(raw, std::move(conn));
@@ -114,27 +131,26 @@ void Server::shed(int fd) {
 
 void Server::begin_shutdown() {
   if (draining_.exchange(true, std::memory_order_relaxed)) return;
-  bound_port_ = listener_ ? listener_->port() : 0;
   if (listener_) {
-    loops_[0]->loop.del_fd(listener_->fd());
+    acceptor_->del_fd(listener_->fd());
     listener_.reset();  // closes the socket: no new connections
   }
   for (std::size_t i = 0; i < loops_.size(); ++i) {
     LoopState& state = *loops_[i];
-    state.loop.post([this, &state, i] {
+    state.loop.post([this, &state] {
+      state.loop.assert_in_loop();
       // Snapshot first: begin_drain may close and release, and release
       // mutates state.conns via a deferred task.
       std::vector<Connection*> conns;
       conns.reserve(state.conns.size());
       for (auto& [conn, owned] : state.conns) conns.push_back(conn);
       for (Connection* conn : conns) conn->begin_drain();
-      maybe_stop_loop(i);
+      maybe_stop_loop(state);
     });
   }
 }
 
-void Server::maybe_stop_loop(std::size_t loop_index) {
-  LoopState& state = *loops_[loop_index];
+void Server::maybe_stop_loop(LoopState& state) {
   if (draining_.load(std::memory_order_relaxed) && state.conns.empty())
     state.loop.stop();
 }
@@ -206,9 +222,10 @@ void Server::release(Connection* conn, std::size_t loop_index) {
   LoopState& state = *loops_[loop_index];
   // The caller may still be inside one of conn's member functions;
   // destroy it only once the loop unwinds to its task queue.
-  state.loop.post([this, &state, conn, loop_index] {
+  state.loop.post([this, &state, conn] {
+    state.loop.assert_in_loop();
     state.conns.erase(conn);
-    maybe_stop_loop(loop_index);
+    maybe_stop_loop(state);
   });
 }
 

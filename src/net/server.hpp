@@ -34,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "net/connection.hpp"
 #include "net/event_loop.hpp"
 #include "net/listener.hpp"
@@ -160,22 +161,28 @@ class Server {
   struct LoopState {
     EventLoop loop;
     std::thread thread;
-    std::unordered_map<Connection*, std::unique_ptr<Connection>> conns;
+    /// This loop's connections; confined to its own loop thread.
+    std::unordered_map<Connection*, std::unique_ptr<Connection>> conns
+        BDRMAPIT_GUARDED_BY(loop);
   };
 
-  void on_acceptable();
+  void on_acceptable() BDRMAPIT_REQUIRES(acceptor_);
   void shed(int fd);
-  void begin_shutdown();
-  void maybe_stop_loop(std::size_t loop_index);
+  void begin_shutdown() BDRMAPIT_REQUIRES(acceptor_);
+  void maybe_stop_loop(LoopState& state) BDRMAPIT_REQUIRES(state.loop);
 
   ServerConfig config_;
   Handler handler_;
   FrameHandler frame_handler_;
-  std::unique_ptr<Listener> listener_;
-  std::uint16_t bound_port_ = 0;  ///< preserved across listener teardown
+  /// loops_[0]'s loop — the acceptor. Set in start() before any loop
+  /// thread exists, constant afterwards; the capability guarding the
+  /// accept-side state below.
+  EventLoop* acceptor_ = nullptr;
+  std::unique_ptr<Listener> listener_ BDRMAPIT_GUARDED_BY(acceptor_);
+  std::uint16_t bound_port_ = 0;  ///< set in start(); constant afterwards
   std::vector<std::unique_ptr<LoopState>> loops_;
   int shutdown_fd_ = -1;
-  std::size_t next_loop_ = 0;  ///< acceptor-thread only (round robin)
+  std::size_t next_loop_ BDRMAPIT_GUARDED_BY(acceptor_) = 0;  ///< round robin
   std::atomic<bool> draining_{false};
   bool started_ = false;
   bool joined_ = false;

@@ -36,12 +36,16 @@ ThreadPool& ThreadPool::shared() {
 }
 
 ThreadPool::~ThreadPool() {
+  // Swap the worker set out under the lock, then join outside it: the
+  // workers need mu_ to observe shutdown_ and exit.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const core::MutexLock lock(mu_);
     shutdown_ = true;
+    workers.swap(workers_);
   }
   work_cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  for (auto& w : workers) w.join();
 }
 
 void ThreadPool::ensure_workers_locked(unsigned n) {
@@ -63,9 +67,9 @@ void ThreadPool::run(std::size_t tasks, unsigned threads,
     for (std::size_t i = 0; i < tasks; ++i) fn(i);
     return;
   }
-  std::lock_guard<std::mutex> job_lock(job_mu_);
+  const core::MutexLock job_lock(job_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const core::MutexLock lock(mu_);
     ensure_workers_locked(threads - 1);
     job_ = &fn;
     job_tasks_ = tasks;
@@ -76,8 +80,8 @@ void ThreadPool::run(std::size_t tasks, unsigned threads,
   }
   work_cv_.notify_all();
   work_on_job();
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  core::MutexLock lock(mu_);
+  while (unfinished_ != 0) done_cv_.wait(lock);
   job_ = nullptr;
   if (error_) {
     std::exception_ptr e = error_;
@@ -91,7 +95,7 @@ void ThreadPool::work_on_job() {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t i = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const core::MutexLock lock(mu_);
       if (job_ == nullptr || next_task_ >= job_tasks_) return;
       fn = job_;
       i = next_task_++;
@@ -99,10 +103,10 @@ void ThreadPool::work_on_job() {
     try {
       (*fn)(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      const core::MutexLock lock(mu_);
       if (!error_) error_ = std::current_exception();
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    const core::MutexLock lock(mu_);
     if (--unfinished_ == 0) done_cv_.notify_all();
   }
 }
@@ -111,11 +115,12 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return shutdown_ ||
-               (generation_ != seen && job_ != nullptr && next_task_ < job_tasks_);
-      });
+      core::MutexLock lock(mu_);
+      // Explicit predicate loop: the capability analysis cannot see
+      // into a wait(pred) lambda, so the guarded reads live here.
+      while (!shutdown_ && !(generation_ != seen && job_ != nullptr &&
+                             next_task_ < job_tasks_))
+        work_cv_.wait(lock);
       if (shutdown_) return;
       seen = generation_;
     }

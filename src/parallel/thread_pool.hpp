@@ -20,15 +20,15 @@
 #pragma once
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <iterator>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "core/thread_annotations.hpp"
 
 namespace parallel {
 
@@ -65,28 +65,30 @@ class ThreadPool {
   /// complete; rethrows the first exception any task raised.
   /// Concurrent run() calls from different threads serialize.
   void run(std::size_t tasks, unsigned threads,
-           const std::function<void(std::size_t)>& fn);
+           const std::function<void(std::size_t)>& fn)
+      BDRMAPIT_EXCLUDES(job_mu_, mu_);
 
  private:
   ThreadPool() = default;
 
-  void ensure_workers_locked(unsigned n);
-  void worker_loop();
-  void work_on_job();
+  void ensure_workers_locked(unsigned n) BDRMAPIT_REQUIRES(mu_);
+  void worker_loop() BDRMAPIT_EXCLUDES(mu_);
+  void work_on_job() BDRMAPIT_EXCLUDES(mu_);
 
-  std::mutex job_mu_;  ///< serializes whole jobs from concurrent callers
+  core::Mutex job_mu_;  ///< serializes whole jobs from concurrent callers
 
-  std::mutex mu_;  ///< protects everything below
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::vector<std::thread> workers_;
-  std::uint64_t generation_ = 0;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::size_t job_tasks_ = 0;
-  std::size_t next_task_ = 0;
-  std::size_t unfinished_ = 0;
-  std::exception_ptr error_;
-  bool shutdown_ = false;
+  core::Mutex mu_;  ///< guards every BDRMAPIT_GUARDED_BY(mu_) member
+  core::CondVar work_cv_;
+  core::CondVar done_cv_;
+  std::vector<std::thread> workers_ BDRMAPIT_GUARDED_BY(mu_);
+  std::uint64_t generation_ BDRMAPIT_GUARDED_BY(mu_) = 0;
+  const std::function<void(std::size_t)>* job_ BDRMAPIT_GUARDED_BY(mu_) =
+      nullptr;
+  std::size_t job_tasks_ BDRMAPIT_GUARDED_BY(mu_) = 0;
+  std::size_t next_task_ BDRMAPIT_GUARDED_BY(mu_) = 0;
+  std::size_t unfinished_ BDRMAPIT_GUARDED_BY(mu_) = 0;
+  std::exception_ptr error_ BDRMAPIT_GUARDED_BY(mu_);
+  bool shutdown_ BDRMAPIT_GUARDED_BY(mu_) = false;
 };
 
 /// Number of shards parallel_shards/parallel_reduce will use for a

@@ -3,10 +3,18 @@
 #include <algorithm>
 #include <iterator>
 
+#include "core/thread_annotations.hpp"
+
 namespace serve {
 
 namespace {
 const std::vector<std::pair<netbase::Asn, netbase::Asn>> kNoLinks;
+
+// The load/audit gate's process-wide tallies: open() may run on any
+// thread (each serving process loads one snapshot, tests load many),
+// so the counters sit behind an annotated mutex.
+core::Mutex g_gate_mu;
+LoadGateStats g_gate_stats BDRMAPIT_GUARDED_BY(g_gate_mu);
 
 netbase::Prefix host_prefix(const netbase::IPAddr& a) noexcept {
   return netbase::Prefix(a, a.bits());
@@ -39,16 +47,31 @@ AnnotationStore::AnnotationStore(Snapshot snap) : snap_(std::move(snap)) {
 
 std::unique_ptr<AnnotationStore> AnnotationStore::open(
     Snapshot snap, const StoreOptions& opt, std::vector<SnapshotIssue>* issues) {
-  if (opt.audit) {
-    std::vector<SnapshotIssue> found = validate_snapshot(snap, opt.threads);
-    if (!found.empty()) {
-      if (issues)
-        issues->insert(issues->end(), std::make_move_iterator(found.begin()),
-                       std::make_move_iterator(found.end()));
-      return nullptr;
+  std::vector<SnapshotIssue> found;
+  if (opt.audit) found = validate_snapshot(snap, opt.threads);
+  {
+    const core::MutexLock lock(g_gate_mu);
+    ++g_gate_stats.opens;
+    if (opt.audit) {
+      ++g_gate_stats.audits_run;
+      g_gate_stats.violations += found.size();
+      if (!found.empty()) ++g_gate_stats.snapshots_rejected;
+    } else {
+      ++g_gate_stats.audits_skipped;
     }
   }
+  if (!found.empty()) {
+    if (issues)
+      issues->insert(issues->end(), std::make_move_iterator(found.begin()),
+                     std::make_move_iterator(found.end()));
+    return nullptr;
+  }
   return std::unique_ptr<AnnotationStore>(new AnnotationStore(std::move(snap)));
+}
+
+LoadGateStats AnnotationStore::load_gate_stats() {
+  const core::MutexLock lock(g_gate_mu);
+  return g_gate_stats;
 }
 
 const SnapshotIface* AnnotationStore::find(

@@ -44,6 +44,18 @@ struct StoreOptions {
   int threads = 1;    ///< executors for the validation scans (<= 0: auto)
 };
 
+/// Process-wide tallies for the audited open() gate, across every
+/// store this process has opened. Guarded by an internal core::Mutex
+/// in store.cpp (the one lock-protected piece of serve state — the
+/// stores themselves are immutable once built).
+struct LoadGateStats {
+  std::uint64_t opens = 0;              ///< open() calls
+  std::uint64_t audits_run = 0;         ///< opens that ran the validator
+  std::uint64_t audits_skipped = 0;     ///< opens with opt.audit false
+  std::uint64_t snapshots_rejected = 0; ///< opens refused by the gate
+  std::uint64_t violations = 0;         ///< violations across all audits
+};
+
 class AnnotationStore {
  public:
   /// Takes ownership of the snapshot and builds all indexes. Performs
@@ -60,6 +72,9 @@ class AnnotationStore {
   static std::unique_ptr<AnnotationStore> open(Snapshot snap,
                                                const StoreOptions& opt = {},
                                                std::vector<SnapshotIssue>* issues = nullptr);
+
+  /// Consistent snapshot of the process-wide load/audit gate tallies.
+  static LoadGateStats load_gate_stats();
 
   AnnotationStore(const AnnotationStore&) = delete;
   AnnotationStore& operator=(const AnnotationStore&) = delete;

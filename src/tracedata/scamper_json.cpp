@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <istream>
+#include <new>
 #include <ostream>
 #include <string>
 
@@ -309,7 +310,8 @@ int icmp_from_reply(ReplyType r, bool v6) {
 
 }  // namespace
 
-std::optional<Traceroute> trace_from_json(std::string_view line, std::string* error) {
+std::optional<Traceroute> trace_from_json(std::string_view line,
+                                          std::string* error) noexcept try {
   auto set_error = [&](const std::string& why) {
     if (error) *error = why;
     return std::nullopt;
@@ -386,16 +388,21 @@ std::optional<Traceroute> trace_from_json(std::string_view line, std::string* er
                            }),
                t.hops.end());
   return t;
+} catch (const std::bad_alloc&) {
+  // noexcept boundary. The message is short enough for SSO, so setting
+  // it cannot itself allocate.
+  if (error) *error = "out of memory";
+  return std::nullopt;
 }
 
 std::vector<Traceroute> read_json_traceroutes(std::istream& in,
-                                              std::size_t* malformed) {
+                                              std::size_t* malformed) noexcept {
   return read_json_traceroutes(in, malformed, 1);
 }
 
 std::vector<Traceroute> read_json_traceroutes(std::istream& in,
                                               std::size_t* malformed,
-                                              int threads) {
+                                              int threads) noexcept try {
   return detail::parse_lines_sharded(
       in, malformed, threads,
       [](const std::string& line, std::vector<Traceroute>& traces,
@@ -407,6 +414,9 @@ std::vector<Traceroute> read_json_traceroutes(std::istream& in,
         else if (!error.empty())
           ++bad;
       });
+} catch (const std::bad_alloc&) {
+  if (malformed) *malformed = 0;
+  return {};
 }
 
 void write_json_traceroutes(std::ostream& out, const std::vector<Traceroute>& traces) {

@@ -29,16 +29,21 @@
 
 namespace tracedata {
 
+// Like the text readers in traceroute.hpp, these entry points are
+// noexcept API boundaries: allocation failure surfaces as a parse
+// error / empty result, never as an exception.
+
 /// Parses one JSON line. Returns nullopt for blank/comment lines,
 /// non-trace records, and malformed input (sets `error` for the latter
-/// when non-null).
+/// when non-null, including "out of memory" on allocation failure).
 std::optional<Traceroute> trace_from_json(std::string_view line,
-                                          std::string* error = nullptr);
+                                          std::string* error = nullptr) noexcept;
 
 /// Reads a whole jsonl stream; malformed lines are counted, non-trace
-/// records skipped silently.
-std::vector<Traceroute> read_json_traceroutes(std::istream& in,
-                                              std::size_t* malformed = nullptr);
+/// records skipped silently. Returns an empty vector on allocation
+/// failure.
+std::vector<Traceroute> read_json_traceroutes(
+    std::istream& in, std::size_t* malformed = nullptr) noexcept;
 
 /// Threaded variant: lines are parsed in contiguous shards by up to
 /// `threads` executors (<= 0 means hardware concurrency) and merged in
@@ -46,7 +51,7 @@ std::vector<Traceroute> read_json_traceroutes(std::istream& in,
 /// any thread count.
 std::vector<Traceroute> read_json_traceroutes(std::istream& in,
                                               std::size_t* malformed,
-                                              int threads);
+                                              int threads) noexcept;
 
 /// Writes a corpus in the same JSON schema (one object per line).
 void write_json_traceroutes(std::ostream& out, const std::vector<Traceroute>& traces);

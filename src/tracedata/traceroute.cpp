@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <istream>
+#include <new>
 #include <ostream>
 
 #include "tracedata/line_shards.hpp"
@@ -58,7 +59,7 @@ std::string to_line(const Traceroute& t) {
   return out;
 }
 
-std::optional<Traceroute> from_line(std::string_view line) {
+std::optional<Traceroute> from_line(std::string_view line) noexcept try {
   while (!line.empty() && (line.back() == '\r' || line.back() == '\n'))
     line.remove_suffix(1);
   if (line.empty() || line.front() == '#') return std::nullopt;
@@ -90,6 +91,10 @@ std::optional<Traceroute> from_line(std::string_view line) {
     hops.remove_prefix(semi + 1);
   }
   return t;
+} catch (const std::bad_alloc&) {
+  // noexcept boundary: an OOM mid-record is a failed parse, not an
+  // exception the caller must field.
+  return std::nullopt;
 }
 
 void write_traceroutes(std::ostream& out, const std::vector<Traceroute>& traces) {
@@ -97,12 +102,13 @@ void write_traceroutes(std::ostream& out, const std::vector<Traceroute>& traces)
   for (const auto& t : traces) out << to_line(t) << '\n';
 }
 
-std::vector<Traceroute> read_traceroutes(std::istream& in, std::size_t* malformed) {
+std::vector<Traceroute> read_traceroutes(std::istream& in,
+                                         std::size_t* malformed) noexcept {
   return read_traceroutes(in, malformed, 1);
 }
 
 std::vector<Traceroute> read_traceroutes(std::istream& in, std::size_t* malformed,
-                                         int threads) {
+                                         int threads) noexcept try {
   return detail::parse_lines_sharded(
       in, malformed, threads,
       [](const std::string& line, std::vector<Traceroute>& traces,
@@ -114,6 +120,11 @@ std::vector<Traceroute> read_traceroutes(std::istream& in, std::size_t* malforme
         else
           ++bad;
       });
+} catch (const std::bad_alloc&) {
+  // The corpus didn't fit: report "nothing parsed" rather than unwind
+  // through the noexcept boundary.
+  if (malformed) *malformed = 0;
+  return {};
 }
 
 }  // namespace tracedata

@@ -64,21 +64,29 @@ struct Traceroute {
 /// Serializes one traceroute in the one-line format above.
 std::string to_line(const Traceroute& t);
 
-/// Parses one line; nullopt for comments, blanks, or malformed input.
-std::optional<Traceroute> from_line(std::string_view line);
+// The parsing entry points below are noexcept API boundaries: they
+// report every failure — including allocation failure while building a
+// record — through their result (nullopt / empty vector + malformed
+// count), never by exception. Callers feeding untrusted multi-GB dumps
+// can rely on that contract without their own try blocks.
+
+/// Parses one line; nullopt for comments, blanks, or malformed input
+/// (or allocation failure).
+std::optional<Traceroute> from_line(std::string_view line) noexcept;
 
 /// Writes a whole corpus.
 void write_traceroutes(std::ostream& out, const std::vector<Traceroute>& traces);
 
 /// Reads a whole corpus; malformed lines are skipped and counted in
-/// `malformed` when non-null.
+/// `malformed` when non-null. Returns an empty vector on allocation
+/// failure.
 std::vector<Traceroute> read_traceroutes(std::istream& in,
-                                         std::size_t* malformed = nullptr);
+                                         std::size_t* malformed = nullptr) noexcept;
 
 /// Threaded variant: lines parsed in contiguous shards by up to
 /// `threads` executors (<= 0 means hardware concurrency), merged in
 /// input order — identical output to the serial reader.
 std::vector<Traceroute> read_traceroutes(std::istream& in, std::size_t* malformed,
-                                         int threads);
+                                         int threads) noexcept;
 
 }  // namespace tracedata

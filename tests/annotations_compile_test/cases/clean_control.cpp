@@ -1,0 +1,58 @@
+// Control case: a correctly annotated counter must build cleanly under
+// -Werror=thread-safety. If this fails, the harness (include path,
+// flags, macro spelling) is broken — not the tree under test.
+#include "core/thread_annotations.hpp"
+
+#include <cstdint>
+
+namespace {
+
+class Counter {
+ public:
+  void add(std::uint64_t n) BDRMAPIT_EXCLUDES(mu_) {
+    const core::MutexLock lock(mu_);
+    value_ += n;
+  }
+
+  std::uint64_t read() BDRMAPIT_EXCLUDES(mu_) {
+    const core::MutexLock lock(mu_);
+    return value_;
+  }
+
+  void bump_locked() BDRMAPIT_REQUIRES(mu_) { ++value_; }
+
+  void bump() BDRMAPIT_EXCLUDES(mu_) {
+    mu_.lock();
+    bump_locked();
+    mu_.unlock();
+  }
+
+  void wait_nonzero() BDRMAPIT_EXCLUDES(mu_) {
+    core::MutexLock lock(mu_);
+    while (value_ == 0) cv_.wait(lock);
+  }
+
+  void signal() BDRMAPIT_EXCLUDES(mu_) {
+    {
+      const core::MutexLock lock(mu_);
+      ++value_;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  core::Mutex mu_;
+  core::CondVar cv_;
+  std::uint64_t value_ BDRMAPIT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(2);
+  c.bump();
+  c.signal();
+  c.wait_nonzero();
+  return static_cast<int>(c.read() == 4 ? 0 : 1);
+}

@@ -1,0 +1,30 @@
+// Seeded violation: acquiring a capability twice (guaranteed deadlock
+// on a non-recursive mutex). The gate must reject this.
+#include "core/thread_annotations.hpp"
+
+#include <cstdint>
+
+namespace {
+
+class Counter {
+ public:
+  void add(std::uint64_t n) BDRMAPIT_EXCLUDES(mu_) {
+    mu_.lock();
+    mu_.lock();  // BUG: mu_ already held
+    value_ += n;
+    mu_.unlock();
+    mu_.unlock();
+  }
+
+ private:
+  core::Mutex mu_;
+  std::uint64_t value_ BDRMAPIT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  return 0;
+}

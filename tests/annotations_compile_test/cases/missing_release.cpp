@@ -1,0 +1,28 @@
+// Seeded violation: a function returns while still holding a mutex it
+// acquired (lock leak). The gate must reject this.
+#include "core/thread_annotations.hpp"
+
+#include <cstdint>
+
+namespace {
+
+class Counter {
+ public:
+  void add(std::uint64_t n) BDRMAPIT_EXCLUDES(mu_) {
+    mu_.lock();
+    value_ += n;
+    // BUG: missing mu_.unlock() before return.
+  }
+
+ private:
+  core::Mutex mu_;
+  std::uint64_t value_ BDRMAPIT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Seeded violation: calling a REQUIRES(mu_) helper without holding the
+// mutex. The thread-safety gate must reject this translation unit.
+#include "core/thread_annotations.hpp"
+
+#include <cstdint>
+
+namespace {
+
+class Counter {
+ public:
+  void bump_locked() BDRMAPIT_REQUIRES(mu_) { ++value_; }
+
+  // BUG: calls the REQUIRES helper with mu_ unheld.
+  void bump() { bump_locked(); }
+
+ private:
+  core::Mutex mu_;
+  std::uint64_t value_ BDRMAPIT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return 0;
+}

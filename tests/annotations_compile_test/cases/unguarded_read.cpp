@@ -1,0 +1,30 @@
+// Seeded violation: reading a GUARDED_BY member without holding its
+// mutex. The thread-safety gate must reject this translation unit.
+#include "core/thread_annotations.hpp"
+
+#include <cstdint>
+
+namespace {
+
+class Counter {
+ public:
+  void add(std::uint64_t n) BDRMAPIT_EXCLUDES(mu_) {
+    const core::MutexLock lock(mu_);
+    value_ += n;
+  }
+
+  // BUG: no lock held, no REQUIRES — the analysis must flag the read.
+  std::uint64_t read_unlocked() const { return value_; }
+
+ private:
+  mutable core::Mutex mu_;
+  std::uint64_t value_ BDRMAPIT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  return static_cast<int>(c.read_unlocked());
+}

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <memory>
@@ -390,6 +391,74 @@ TEST_F(NetServerTest, NetstatsCountsTraffic) {
   EXPECT_NE(got.find("bulk_frames\t1\n"), std::string::npos) << got;
   EXPECT_NE(got.find("bulk_addrs\t3\n"), std::string::npos) << got;
   EXPECT_NE(got.find("END\t10\n"), std::string::npos) << got;
+}
+
+// Torture leg for the NETSTATS counters: 8 clients hammer the server
+// with interleaved text and BULK requests across 4 loops while another
+// connection polls NETSTATS the whole time. Every poll must see a
+// complete, well-formed table (the counters are relaxed atomics — the
+// point is that concurrent reads never tear, deadlock, or trip TSan),
+// and the totals must be exact once the hammering stops.
+TEST_F(NetServerTest, NetstatsSurvivesConcurrentHammering) {
+  net::ServerConfig config;
+  config.threads = 4;
+  StartServer(config);
+  constexpr int kClients = 8;
+  constexpr int kIters = 25;
+  const std::size_t bulk_reply_bytes =
+      serve::bulk::kHeaderBytes + 2 * serve::bulk::kResultRecBytes;
+
+  std::string frame;
+  serve::bulk::append_request(frame,
+                              {netbase::IPAddr::must_parse("10.0.0.1"),
+                               netbase::IPAddr::must_parse("10.0.1.1")});
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> good_polls{0};
+  std::thread poller([this, &stop, &good_polls] {
+    Client client(port_);
+    if (!client.connected()) return;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (!client.send_str("NETSTATS\n")) return;
+      const std::string got = client.recv_lines(11);  // 10 rows + END
+      if (got.find("END\t10\n") == std::string::npos) return;
+      good_polls.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<std::thread> workers;
+  std::vector<int> correct(kClients, 0);
+  workers.reserve(kClients);
+  for (int c = 0; c < kClients; ++c)
+    workers.emplace_back([this, c, &correct, &frame, bulk_reply_bytes] {
+      Client client(port_);
+      if (!client.connected()) return;
+      for (int i = 0; i < kIters; ++i) {
+        if (!client.send_str("COUNT 65001\n")) return;
+        if (client.recv_lines(1) != "65001\t2\n") return;
+        if (!client.send_str(frame)) return;
+        if (client.recv_bytes(bulk_reply_bytes).size() != bulk_reply_bytes)
+          return;
+        ++correct[c];
+      }
+    });
+  for (auto& t : workers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
+
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(correct[c], kIters) << c;
+  EXPECT_GE(good_polls.load(), 1);
+
+  // Exact totals now that all request streams have been answered.
+  const net::ServerStats st = server_->stats();
+  EXPECT_EQ(st.accepted, static_cast<std::uint64_t>(kClients) + 1);
+  EXPECT_EQ(st.requests, static_cast<std::uint64_t>(kClients) * kIters +
+                             static_cast<std::uint64_t>(good_polls.load()));
+  EXPECT_EQ(st.frames, static_cast<std::uint64_t>(kClients) * kIters);
+  EXPECT_EQ(st.frame_units, static_cast<std::uint64_t>(kClients) * kIters * 2);
+  EXPECT_EQ(st.rate_limited, 0u);
+  EXPECT_GT(st.bytes_in, 0u);
+  EXPECT_GT(st.bytes_out, 0u);
 }
 
 TEST_F(NetServerTest, GracefulShutdownFlushesQueuedReplies) {

@@ -347,6 +347,57 @@ TEST(StoreAudit, ValidationIsThreadCountInvariant) {
   }
 }
 
+// Delta-based (the tallies are process-wide and other tests in this
+// binary also call open()): each kind of open must move exactly its
+// own counters.
+TEST(StoreAudit, LoadGateStatsTallyOpens) {
+  auto run = run_small(5);
+
+  // Audited open of a healthy snapshot.
+  serve::LoadGateStats before = serve::AnnotationStore::load_gate_stats();
+  {
+    serve::Snapshot snap = serve::snapshot_from_result(run.result);
+    ASSERT_NE(serve::AnnotationStore::open(std::move(snap)), nullptr);
+  }
+  serve::LoadGateStats after = serve::AnnotationStore::load_gate_stats();
+  EXPECT_EQ(after.opens, before.opens + 1);
+  EXPECT_EQ(after.audits_run, before.audits_run + 1);
+  EXPECT_EQ(after.audits_skipped, before.audits_skipped);
+  EXPECT_EQ(after.snapshots_rejected, before.snapshots_rejected);
+  EXPECT_EQ(after.violations, before.violations);
+
+  // Opt-out open: audit skipped, nothing rejected.
+  before = after;
+  {
+    serve::Snapshot snap = serve::snapshot_from_result(run.result);
+    serve::StoreOptions opt;
+    opt.audit = false;
+    ASSERT_NE(serve::AnnotationStore::open(std::move(snap), opt), nullptr);
+  }
+  after = serve::AnnotationStore::load_gate_stats();
+  EXPECT_EQ(after.opens, before.opens + 1);
+  EXPECT_EQ(after.audits_run, before.audits_run);
+  EXPECT_EQ(after.audits_skipped, before.audits_skipped + 1);
+  EXPECT_EQ(after.snapshots_rejected, before.snapshots_rejected);
+
+  // Audited open of a violating snapshot: rejected, violations tallied.
+  before = after;
+  {
+    serve::Snapshot snap = serve::snapshot_from_result(run.result);
+    ASSERT_GE(snap.interfaces.size(), 2u);
+    std::swap(snap.interfaces.front(), snap.interfaces.back());
+    std::vector<serve::SnapshotIssue> issues;
+    EXPECT_EQ(serve::AnnotationStore::open(std::move(snap), {}, &issues),
+              nullptr);
+    EXPECT_FALSE(issues.empty());
+  }
+  after = serve::AnnotationStore::load_gate_stats();
+  EXPECT_EQ(after.opens, before.opens + 1);
+  EXPECT_EQ(after.audits_run, before.audits_run + 1);
+  EXPECT_EQ(after.snapshots_rejected, before.snapshots_rejected + 1);
+  EXPECT_GT(after.violations, before.violations);
+}
+
 TEST(StoreAudit, EmptySnapshotValidatesCleanAndServesZeroState) {
   const serve::Snapshot empty;
   EXPECT_TRUE(serve::validate_snapshot(empty).empty());

@@ -1,0 +1,45 @@
+#!/bin/sh
+# check_serve_alloc.sh — guard the zero-allocation serve reply path.
+#
+# The serve hot path (text protocol, BULK frames, render helpers, and
+# the connection write pump) was rewritten to format into reusable
+# buffers; std::to_string, ostringstream, and std::endl are the three
+# allocation/flush regressions that historically crept back in. This
+# lint fails CI if any of them reappears in those files. Run from the
+# repo root (the serve_alloc_lint ctest and the clang-tidy CI job both
+# do); comment lines are exempt so docs can name the banned calls.
+set -u
+
+files="
+src/serve/protocol.cpp
+src/serve/bulk.cpp
+src/serve/render.hpp
+src/net/connection.cpp
+"
+
+pattern='std::to_string|ostringstream|std::endl'
+
+status=0
+for f in $files; do
+  if [ ! -f "$f" ]; then
+    echo "check_serve_alloc: missing file $f (run from the repo root)" >&2
+    status=1
+    continue
+  fi
+  # grep -n for file:line findings, then drop lines whose code part
+  # starts with // (pure comment lines referencing the banned names).
+  hits=$(grep -nE "$pattern" "$f" | grep -vE '^[0-9]+:[[:space:]]*//' || true)
+  if [ -n "$hits" ]; then
+    echo "check_serve_alloc: allocation-prone call in $f:" >&2
+    echo "$hits" | sed "s|^|  $f:|" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "check_serve_alloc: FAIL — format into the reusable buffers" \
+       "(see serve/render.hpp) instead" >&2
+else
+  echo "check_serve_alloc: OK"
+fi
+exit $status
