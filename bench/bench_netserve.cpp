@@ -340,7 +340,8 @@ int main(int argc, char** argv) {
   benchutil::print_header("bench_netserve — TCP serving layer");
 
   // ---- target: external server, or an in-process one -------------------
-  std::unique_ptr<serve::AnnotationStore> store;
+  std::unique_ptr<serve::StoreHandle> handle;
+  serve::StoreHandle::StoreRef store;  // pinned generation 1
   std::unique_ptr<serve::Protocol> protocol;
   std::unique_ptr<net::Server> server;
   std::string host = opt.connect_host;
@@ -363,8 +364,10 @@ int main(int argc, char** argv) {
     eval::Scenario s = eval::make_scenario(topo::SimParams{}, 40, true, 8264);
     const core::Result result = benchutil::run_bdrmapit(s);
     serve::Snapshot snap = serve::snapshot_from_result(result);
-    store = std::make_unique<serve::AnnotationStore>(std::move(snap));
-    protocol = std::make_unique<serve::Protocol>(*store);
+    handle = std::make_unique<serve::StoreHandle>(
+        std::make_shared<const serve::AnnotationStore>(std::move(snap)));
+    store = handle->acquire();
+    protocol = std::make_unique<serve::Protocol>(*handle);
 
     net::ServerConfig config;  // ephemeral port, hardware-sized loops
     if (opt.bulk) config.binary_magic = serve::bulk::kMagic;

@@ -59,11 +59,11 @@ serve::Snapshot tiny_snapshot() {
   return snap;
 }
 
-const serve::AnnotationStore& store() {
+const serve::StoreHandle& store() {
   static const auto* instance = [] {
     auto ptr = serve::AnnotationStore::open(tiny_snapshot());
     if (!ptr) __builtin_trap();  // the seed image must audit cleanly
-    return ptr.release();
+    return new serve::StoreHandle(std::move(ptr));
   }();
   return *instance;
 }

@@ -48,11 +48,11 @@ serve::Snapshot tiny_snapshot() {
   return snap;
 }
 
-const serve::AnnotationStore& store() {
+const serve::StoreHandle& store() {
   static const auto* instance = [] {
     auto ptr = serve::AnnotationStore::open(tiny_snapshot());
     if (!ptr) __builtin_trap();  // the seed image must audit cleanly
-    return ptr.release();
+    return new serve::StoreHandle(std::move(ptr));
   }();
   return *instance;
 }
@@ -74,18 +74,30 @@ void check_one(const serve::Protocol& protocol, std::string_view line) {
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
-  static const serve::Protocol protocol(store());
+  // Admin transport: RELOAD is wired to a pure stub (no filesystem, no
+  // state) so the determinism trap holds — "/ok" accepts, everything
+  // else rejects the way the real driver rejects an unreadable path.
+  static const serve::Protocol protocol(
+      store(), {}, [](std::string_view path, std::string& detail) {
+        if (path == "/ok") return true;
+        detail = "no-such-file";
+        return false;
+      });
+  // Non-admin transport (--no-reload, direct harnesses): RELOAD must
+  // answer ERR not-admin and nothing else may change.
+  static const serve::Protocol plain(store());
   const std::string_view input(reinterpret_cast<const char*>(data), size);
 
   // As the transports frame it: one call per newline-delimited line.
   std::size_t start = 0;
   while (start <= input.size()) {
     const std::size_t nl = input.find('\n', start);
-    if (nl == std::string_view::npos) {
-      check_one(protocol, input.substr(start));
-      break;
-    }
-    check_one(protocol, input.substr(start, nl - start));
+    const std::string_view line = nl == std::string_view::npos
+                                      ? input.substr(start)
+                                      : input.substr(start, nl - start);
+    check_one(protocol, line);
+    check_one(plain, line);
+    if (nl == std::string_view::npos) break;
     start = nl + 1;
   }
   return 0;

@@ -31,6 +31,7 @@
 
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -116,6 +117,18 @@ class CondVar {
     std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
     cv_.wait(native);
     native.release();  // ownership stays with `lock`
+  }
+
+  /// wait() with a deadline: returns false once `deadline` passes
+  /// without a notification (the mutex is held again either way).
+  /// Callers put it in the same explicit predicate loop as wait(),
+  /// breaking out when it reports timeout.
+  bool wait_until(MutexLock& lock,
+                  std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();  // ownership stays with `lock`
+    return status == std::cv_status::no_timeout;
   }
 
   void notify_one() noexcept { cv_.notify_one(); }

@@ -35,6 +35,7 @@ Connection::Connection(Server& server, EventLoop& loop,
     : server_(server),
       loop_(loop),
       loop_index_(loop_index),
+      source_key_(SourceKey::from_fd(fd)),
       fd_(fd),
       last_active_(Clock::now()) {
   const ServerConfig& cfg = server_.config();
@@ -92,18 +93,34 @@ void Connection::on_readable() {
 
 bool Connection::take_token() {
   const double rate = server_.config().rate_limit;
-  if (rate <= 0) return true;
+  SourceLimiter& sources = server_.source_limiter();
+  if (rate <= 0 && !sources.enabled()) return true;
   const Clock::time_point now = Clock::now();
-  tokens_ = std::min(
-      burst_, tokens_ + rate * std::chrono::duration<double>(
-                                   now - bucket_time_).count());
-  bucket_time_ = now;
-  if (tokens_ >= 1.0) {
+  if (rate > 0) {
+    tokens_ = std::min(
+        burst_, tokens_ + rate * std::chrono::duration<double>(
+                                     now - bucket_time_).count());
+    bucket_time_ = now;
+    if (tokens_ < 1.0) {
+      server_.note_rate_limited();
+      return false;
+    }
     tokens_ -= 1.0;
-    return true;
   }
-  server_.note_rate_limited();
-  return false;
+  if (!sources.take(source_key_, now)) {
+    // The request is rejected: give the per-connection token back so
+    // the two limits compose (each bucket only charges for dispatches).
+    if (rate > 0) tokens_ = std::min(burst_, tokens_ + 1.0);
+    server_.note_rate_limited();
+    return false;
+  }
+  return true;
+}
+
+void Connection::refund_token() {
+  if (server_.config().rate_limit > 0)
+    tokens_ = std::min(burst_, tokens_ + 1.0);
+  server_.source_limiter().refund(source_key_);
 }
 
 void Connection::process_input() {
@@ -125,9 +142,9 @@ void Connection::process_input() {
       const std::string_view buf(rbuf_.data() + rpos_, rbuf_.size() - rpos_);
       const FrameResult r = server_.dispatch_frame(buf, out_);
       if (r.status == FrameStatus::kNeedMore) {
-        // Refund the token: the frame was not dispatched yet, and the
+        // Refund the tokens: the frame was not dispatched yet, and the
         // retry when its remaining bytes arrive will charge again.
-        tokens_ = std::min(burst_, tokens_ + 1.0);
+        refund_token();
         if (eof_) want_close_ = true;  // truncated trailing frame
         break;
       }

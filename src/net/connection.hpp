@@ -18,9 +18,11 @@
 //   * per-line length cap — an unterminated or terminated line longer
 //     than max_line_bytes answers `ERR line-too-long` and ends the
 //     session;
-//   * per-connection rate limit — a token bucket (config.rate_limit
-//     req/s, config.rate_burst deep) charged one token per request;
-//     an over-limit request answers the configured rejection reply
+//   * rate limiting — a per-connection token bucket (config.rate_limit
+//     req/s, config.rate_burst deep) plus the server's shared
+//     per-source-address bucket (config.rate_limit_source; see
+//     net/source_limit.hpp), each charged one token per request; a
+//     request over either limit answers the configured rejection reply
 //     (`ERR rate-limited` / error frame) and ends the session;
 //   * idle timeout — the owning loop's tick sweeps connections that
 //     have neither sent nor received for idle_timeout;
@@ -52,6 +54,7 @@
 
 #include "core/thread_annotations.hpp"
 #include "net/event_loop.hpp"
+#include "net/source_limit.hpp"
 
 namespace net {
 
@@ -93,8 +96,14 @@ class Connection {
   void pump() BDRMAPIT_REQUIRES(loop_);
   void update_interest() BDRMAPIT_REQUIRES(loop_);
   void close() BDRMAPIT_REQUIRES(loop_);
-  /// Takes one rate-limit token; counts the rejection when over limit.
+  /// Takes one token from the per-connection bucket and one from the
+  /// shared per-source bucket; a request dispatches only if both have
+  /// one. Counts the rejection (and leaves both buckets unchanged)
+  /// when over either limit.
   bool take_token() BDRMAPIT_REQUIRES(loop_);
+  /// Returns the tokens of a charged request that was not dispatched
+  /// (the incomplete-frame retry path).
+  void refund_token() BDRMAPIT_REQUIRES(loop_);
 
   std::size_t outbound() const noexcept BDRMAPIT_REQUIRES(loop_) {
     return (wbuf_.size() - woff_) + out_.size();
@@ -103,6 +112,7 @@ class Connection {
   Server& server_;
   EventLoop& loop_;  ///< owning loop; the capability guarding the rest
   const std::size_t loop_index_;
+  const SourceKey source_key_;  ///< peer address; keys the source bucket
   int fd_ BDRMAPIT_GUARDED_BY(loop_);
 
   std::string rbuf_ BDRMAPIT_GUARDED_BY(loop_);      ///< unparsed request bytes

@@ -16,7 +16,8 @@ Server::Server(ServerConfig config, Handler handler,
                FrameHandler frame_handler)
     : config_(std::move(config)),
       handler_(std::move(handler)),
-      frame_handler_(std::move(frame_handler)) {}
+      frame_handler_(std::move(frame_handler)),
+      source_limiter_(config_.rate_limit_source, config_.rate_burst_source) {}
 
 Server::~Server() {
   if (started_ && !joined_) shutdown();
@@ -68,13 +69,15 @@ bool Server::start(std::string* error) {
 
   for (std::size_t i = 0; i < loops_.size(); ++i) {
     LoopState& state = *loops_[i];
+    const bool sweeps_sources = (i == 0);  // one loop prunes idle sources
     state.loop.assert_in_loop();
-    state.loop.set_tick(config_.tick_period, [this, &state] {
+    state.loop.set_tick(config_.tick_period, [this, &state, sweeps_sources] {
       state.loop.assert_in_loop();
       const Connection::Clock::time_point now = Connection::Clock::now();
       // check_idle may close a connection, but destruction is deferred
       // through release(), so iterating the live map here is safe.
       for (auto& [conn, owned] : state.conns) conn->check_idle(now);
+      if (sweeps_sources) source_limiter_.prune(now);
       maybe_stop_loop(state);
     });
     state.thread = std::thread([&state, i] {
@@ -173,6 +176,20 @@ void Server::wait() {
 void Server::shutdown() {
   request_shutdown();
   wait();
+}
+
+std::size_t Server::broadcast(std::function<void()> fn) {
+  // After a drain begins the loops are winding down and may stop at
+  // any point; a caller waiting on its broadcast copies would hang.
+  if (!started_ || draining_.load(std::memory_order_acquire)) return 0;
+  for (auto& state : loops_) {
+    EventLoop& loop = state->loop;
+    loop.post([&loop, fn] {
+      loop.assert_in_loop();
+      fn();
+    });
+  }
+  return loops_.size();
 }
 
 ServerStats Server::stats() const noexcept {

@@ -38,6 +38,7 @@
 #include "net/connection.hpp"
 #include "net/event_loop.hpp"
 #include "net/listener.hpp"
+#include "net/source_limit.hpp"
 
 namespace net {
 
@@ -62,6 +63,13 @@ struct ServerConfig {
   /// Token bucket depth (burst size); <= 0 resolves to
   /// max(rate_limit, 1). A fresh connection starts with a full bucket.
   double rate_burst = 0;
+  /// Aggregate request rate limit shared by every connection from one
+  /// source address (net/source_limit.hpp closes the many-connections
+  /// loophole the per-connection bucket leaves open). requests/sec;
+  /// 0 = unlimited. A request must pass both buckets to dispatch.
+  double rate_limit_source = 0;
+  /// Source bucket depth; <= 0 resolves to max(rate_limit_source, 1).
+  double rate_burst_source = 0;
   /// Reply sent (then close) when a text request exceeds the limit.
   std::string rate_limited_line = "ERR\trate-limited\n";
   /// Reply sent (then close) when a binary frame exceeds the limit;
@@ -140,6 +148,15 @@ class Server {
   /// request_shutdown() + wait(). For non-signal callers.
   void shutdown();
 
+  /// Posts `fn` to every loop's task queue (each loop runs its own
+  /// copy) and returns how many loops were posted to — 0 once a drain
+  /// has begun or before start(). The hot-reload driver uses this as a
+  /// swap broadcast: when every loop has run its copy, every loop has
+  /// passed through its task queue since the publish, so no request
+  /// begun on the old generation is still being parsed. Callable from
+  /// any thread that has observed start() complete.
+  std::size_t broadcast(std::function<void()> fn);
+
   ServerStats stats() const noexcept;
 
   const ServerConfig& config() const noexcept { return config_; }
@@ -153,6 +170,9 @@ class Server {
   void note_bytes_in(std::size_t n) noexcept;
   void note_bytes_out(std::size_t n) noexcept;
   void note_rate_limited() noexcept;
+  /// The shared per-source-address token-bucket map; connections on
+  /// every loop charge it (it locks internally).
+  SourceLimiter& source_limiter() noexcept { return source_limiter_; }
   /// Defers destruction of a closed connection to its loop's task
   /// queue and accounts the close.
   void release(Connection* conn, std::size_t loop_index);
@@ -174,6 +194,7 @@ class Server {
   ServerConfig config_;
   Handler handler_;
   FrameHandler frame_handler_;
+  SourceLimiter source_limiter_;  ///< shared across loops; locks internally
   /// loops_[0]'s loop — the acceptor. Set in start() before any loop
   /// thread exists, constant afterwards; the capability guarding the
   /// accept-side state below.

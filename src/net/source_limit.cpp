@@ -1,0 +1,103 @@
+#include "net/source_limit.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace net {
+
+SourceKey SourceKey::from_fd(int fd) noexcept {
+  SourceKey key;
+  sockaddr_storage ss{};
+  socklen_t len = sizeof ss;
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&ss), &len) != 0)
+    return key;
+  if (ss.ss_family == AF_INET) {
+    const auto* sin = reinterpret_cast<const sockaddr_in*>(&ss);
+    key.family = 4;
+    std::memcpy(key.bytes.data(), &sin->sin_addr, 4);
+  } else if (ss.ss_family == AF_INET6) {
+    const auto* sin6 = reinterpret_cast<const sockaddr_in6*>(&ss);
+    const auto* b = sin6->sin6_addr.s6_addr;
+    // ::ffff:a.b.c.d — a v4 peer on a dual-stack listener; collapse so
+    // the same host cannot straddle two buckets.
+    static constexpr std::uint8_t kMappedPrefix[12] = {0, 0, 0, 0, 0, 0,
+                                                       0, 0, 0, 0, 0xFF, 0xFF};
+    if (std::memcmp(b, kMappedPrefix, sizeof kMappedPrefix) == 0) {
+      key.family = 4;
+      std::memcpy(key.bytes.data(), b + 12, 4);
+    } else {
+      key.family = 6;
+      std::memcpy(key.bytes.data(), b, 16);
+    }
+  }
+  return key;
+}
+
+std::size_t SourceKeyHash::operator()(const SourceKey& key) const noexcept {
+  // FNV-1a over family + address bytes; cheap, no allocation.
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto mix = [&h](std::uint8_t byte) {
+    h ^= byte;
+    h *= 1099511628211ULL;
+  };
+  mix(key.family);
+  for (const std::uint8_t byte : key.bytes) mix(byte);
+  return static_cast<std::size_t>(h);
+}
+
+SourceLimiter::SourceLimiter(double rate, double burst) noexcept
+    : rate_(rate),
+      burst_(burst > 0 ? burst : std::max(rate, 1.0)) {}
+
+bool SourceLimiter::take(const SourceKey& key, Clock::time_point now) {
+  if (rate_ <= 0 || key.family == 0) return true;
+  const core::MutexLock lock(mu_);
+  auto [it, inserted] = buckets_.try_emplace(key);
+  Bucket& bucket = it->second;
+  if (inserted) {
+    bucket.tokens = burst_;  // a fresh source may burst to the depth
+  } else {
+    bucket.tokens = std::min(
+        burst_, bucket.tokens + rate_ * std::chrono::duration<double>(
+                                            now - bucket.refreshed).count());
+  }
+  bucket.refreshed = now;
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return true;
+  }
+  return false;
+}
+
+void SourceLimiter::refund(const SourceKey& key) {
+  if (rate_ <= 0 || key.family == 0) return;
+  const core::MutexLock lock(mu_);
+  const auto it = buckets_.find(key);
+  if (it != buckets_.end())
+    it->second.tokens = std::min(burst_, it->second.tokens + 1.0);
+}
+
+void SourceLimiter::prune(Clock::time_point now) {
+  if (rate_ <= 0) return;
+  const core::MutexLock lock(mu_);
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    const double refilled = std::min(
+        burst_, it->second.tokens + rate_ * std::chrono::duration<double>(
+                                                now - it->second.refreshed)
+                                                .count());
+    if (refilled >= burst_)
+      it = buckets_.erase(it);  // idle source: recreated full on return
+    else
+      ++it;
+  }
+}
+
+std::size_t SourceLimiter::size() const {
+  const core::MutexLock lock(mu_);
+  return buckets_.size();
+}
+
+}  // namespace net

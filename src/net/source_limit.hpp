@@ -1,0 +1,93 @@
+// net/source_limit.hpp — aggregate request rate limiting by peer IP.
+//
+// The per-connection token bucket (net/connection.cpp) bounds what one
+// socket can demand, but a client that opens many connections gets a
+// fresh bucket each time — the many-connections loophole. SourceLimiter
+// closes it: one shared token bucket per *source address* (port
+// excluded), charged by every connection from that address, on
+// whichever event loop it lives. A request passes only if both its
+// connection bucket and its source bucket have a token.
+//
+// Connections on different loops share buckets, so the map sits behind
+// an annotated core::Mutex. The critical section is a hash lookup and
+// a few float ops — far cheaper than the request dispatch it gates.
+// Buckets are created full on first sight of an address and pruned
+// once they refill to full (the acceptor loop's tick sweeps), so the
+// map tracks only currently-active sources.
+
+#pragma once
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/thread_annotations.hpp"
+
+namespace net {
+
+/// A peer's source address, normalized for keying: family 4 or 6 with
+/// the address in network byte order (v4 in bytes 0-3, rest zero).
+/// IPv4-mapped IPv6 peers (::ffff:a.b.c.d) collapse to their v4 form,
+/// so dual-stack listeners cannot be split across two buckets.
+struct SourceKey {
+  std::uint8_t family = 0;
+  std::array<std::uint8_t, 16> bytes{};
+
+  bool operator==(const SourceKey& other) const noexcept {
+    return family == other.family && bytes == other.bytes;
+  }
+
+  /// Builds the key from a connected socket's peer address via
+  /// getpeername. family stays 0 (an always-passing key) if the fd has
+  /// no IP peer (unexpected for accepted TCP sockets).
+  static SourceKey from_fd(int fd) noexcept;
+};
+
+struct SourceKeyHash {
+  std::size_t operator()(const SourceKey& key) const noexcept;
+};
+
+class SourceLimiter {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// rate: tokens/sec shared by every connection from one source;
+  /// <= 0 disables the limiter. burst: bucket depth, <= 0 resolves to
+  /// max(rate, 1) — the same convention as the per-connection bucket.
+  SourceLimiter(double rate, double burst) noexcept;
+
+  bool enabled() const noexcept { return rate_ > 0; }
+
+  /// Takes one token from `key`'s bucket (created full on first
+  /// sight). Returns false — without consuming anything — when the
+  /// bucket is empty. Always true when disabled or key.family == 0.
+  bool take(const SourceKey& key, Clock::time_point now)
+      BDRMAPIT_EXCLUDES(mu_);
+
+  /// Returns one token (a charged request that was not dispatched —
+  /// the incomplete-frame retry path).
+  void refund(const SourceKey& key) BDRMAPIT_EXCLUDES(mu_);
+
+  /// Drops buckets that have refilled to full: idle sources cost no
+  /// memory. Called from the acceptor loop's tick.
+  void prune(Clock::time_point now) BDRMAPIT_EXCLUDES(mu_);
+
+  /// Currently tracked sources (tests and introspection).
+  std::size_t size() const BDRMAPIT_EXCLUDES(mu_);
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    Clock::time_point refreshed;
+  };
+
+  const double rate_;
+  const double burst_;
+  mutable core::Mutex mu_;
+  std::unordered_map<SourceKey, Bucket, SourceKeyHash> buckets_
+      BDRMAPIT_GUARDED_BY(mu_);
+};
+
+}  // namespace net

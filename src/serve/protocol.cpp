@@ -91,6 +91,12 @@ Protocol::Action Protocol::handle_line(std::string_view line,
 
   if (cmd == "QUIT") return Action::kQuit;
 
+  // Pin the current generation for this whole request: a concurrent
+  // hot reload must never mix generations inside one reply. The
+  // acquire is a refcount bump, not an allocation.
+  const StoreHandle::StoreRef pinned = store_.acquire();
+  const AnnotationStore& store = *pinned;
+
   if (cmd == "IFACE") {
     IfaceScratch& scratch = iface_scratch();
     scratch.addrs.clear();
@@ -110,8 +116,8 @@ Protocol::Action Protocol::handle_line(std::string_view line,
       return Action::kContinue;
     }
     scratch.recs.resize(scratch.addrs.size());
-    store_.find_batch(scratch.addrs.data(), scratch.addrs.size(),
-                      scratch.recs.data());
+    store.find_batch(scratch.addrs.data(), scratch.addrs.size(),
+                     scratch.recs.data());
     for (std::size_t i = 0; i < scratch.recs.size(); ++i) {
       if (scratch.recs[i])
         append_iface(out, *scratch.recs[i]);
@@ -129,7 +135,7 @@ Protocol::Action Protocol::handle_line(std::string_view line,
       append_err(out, "bad-prefix", tok);
       return Action::kContinue;
     }
-    const auto recs = store_.find_under(*p);
+    const auto recs = store.find_under(*p);
     for (const auto* rec : recs) append_iface(out, *rec);
     append_end(out, recs.size());
   } else if (cmd == "LINKS") {
@@ -143,7 +149,7 @@ Protocol::Action Protocol::handle_line(std::string_view line,
       append_err(out, "bad-asn", tok);
       return Action::kContinue;
     }
-    const auto& links = store_.links_of(*asn);
+    const auto& links = store.links_of(*asn);
     for (const auto& [a, b] : links) {
       render::append_u64(out, a);
       out += '\t';
@@ -162,7 +168,7 @@ Protocol::Action Protocol::handle_line(std::string_view line,
       append_err(out, "bad-address", tok);
       return Action::kContinue;
     }
-    const auto* rec = store_.find(*a);
+    const auto* rec = store.find(*a);
     if (!rec) {
       append_err(out, "not-found", tok);
       return Action::kContinue;
@@ -170,7 +176,7 @@ Protocol::Action Protocol::handle_line(std::string_view line,
     // Aliases of one router are contiguous nowhere, so scan; router
     // fan-out is tiny compared to the table.
     std::size_t count = 0;
-    for (const auto& other : store_.snapshot().interfaces) {
+    for (const auto& other : store.snapshot().interfaces) {
       if (other.router_id != rec->router_id) continue;
       append_iface(out, other);
       ++count;
@@ -189,10 +195,10 @@ Protocol::Action Protocol::handle_line(std::string_view line,
     }
     render::append_u64(out, *asn);
     out += '\t';
-    render::append_u64(out, store_.iface_count_of(*asn));
+    render::append_u64(out, store.iface_count_of(*asn));
     out += '\n';
   } else if (cmd == "STATS") {
-    const StoreStats st = store_.stats();
+    const StoreStats st = store.stats();
     const std::pair<const char*, std::uint64_t> rows[] = {
         {"interfaces", st.interfaces},
         {"routers", st.routers},
@@ -221,6 +227,28 @@ Protocol::Action Protocol::handle_line(std::string_view line,
       out += '\n';
     }
     append_end(out, rows.size());
+  } else if (cmd == "RELOAD") {
+    const std::string_view tok = next_token(rest);
+    if (tok.empty()) {
+      append_err(out, "missing-argument", "RELOAD");
+      return Action::kContinue;
+    }
+    if (!reload_) {
+      // No reload driver wired on this transport (--no-reload, or a
+      // harness driving the protocol directly).
+      append_err(out, "not-admin", "RELOAD");
+      return Action::kContinue;
+    }
+    // RELOAD is an admin verb, not a hot path: the detail string may
+    // allocate.
+    std::string detail;
+    if (reload_(tok, detail)) {
+      out += "OK\treload\t";
+      out += tok;
+      out += '\n';
+    } else {
+      append_err(out, "reload-failed", detail.empty() ? tok : detail);
+    }
   } else {
     append_err(out, "unknown-command", cmd);
   }
@@ -273,8 +301,12 @@ Protocol::BulkOutcome Protocol::handle_bulk(std::string_view frame,
     }
   }
 
+  // One generation answers the whole frame: the batched lookup and the
+  // record rendering below both read from the pinned store, so a
+  // concurrent publish cannot mix generations inside one response.
+  const StoreHandle::StoreRef pinned = store_.acquire();
   scratch.recs.resize(count);
-  store_.find_batch(scratch.addrs.data(), count, scratch.recs.data());
+  pinned->find_batch(scratch.addrs.data(), count, scratch.recs.data());
 
   out.reserve(out.size() + bulk::kHeaderBytes +
               std::size_t{count} * bulk::kResultRecBytes);

@@ -2,11 +2,16 @@
 //
 // Protocol owns request framing, command dispatch, and response
 // rendering for the bdrmapit_serve query language (IFACE, PREFIX,
-// LINKS, ROUTER, COUNT, STATS, NETSTATS, QUIT — grammar in
+// LINKS, ROUTER, COUNT, STATS, NETSTATS, RELOAD, QUIT — grammar in
 // docs/SERVING.md) plus the binary BULK lookup protocol (serve/bulk.hpp).
 // Both front-ends drive it: the stdin REPL in apps/bdrmapit_serve.cpp
 // and the TCP path in src/net/ execute this exact code, so the two
 // transports answer any request stream with byte-identical replies.
+//
+// The protocol answers from a StoreHandle, not a raw store: every
+// handle_line/handle_bulk call acquires the current generation once
+// and answers the whole request from it, so a concurrent hot reload
+// (StoreHandle::publish) never mixes generations inside one reply.
 //
 // handle_line and handle_bulk are const and touch only read-only
 // AnnotationStore indexes, so one Protocol instance may be shared by
@@ -43,8 +48,20 @@ class Protocol {
   using NetStats = std::vector<std::pair<std::string, std::uint64_t>>;
   using NetStatsFn = std::function<NetStats()>;
 
-  explicit Protocol(const AnnotationStore& store, NetStatsFn netstats = {})
-      : store_(store), netstats_(std::move(netstats)) {}
+  /// Admin hook behind the RELOAD verb. Receives the requested
+  /// snapshot path; returns true when the reload was performed (stdin
+  /// transport, synchronous) or accepted for execution off the event
+  /// loops (TCP transport). On false, `detail` names the reason
+  /// ("no-such-file", "audit-violation", ...) for the ERR reply.
+  /// Unset: RELOAD answers `ERR not-admin` (fuzz harnesses, tests,
+  /// --no-reload deployments).
+  using ReloadFn = std::function<bool(std::string_view path, std::string& detail)>;
+
+  explicit Protocol(const StoreHandle& store, NetStatsFn netstats = {},
+                    ReloadFn reload = {})
+      : store_(store),
+        netstats_(std::move(netstats)),
+        reload_(std::move(reload)) {}
 
   /// Handles one request line (without its trailing newline; one
   /// trailing CR is tolerated for CRLF clients) and appends zero or
@@ -76,11 +93,12 @@ class Protocol {
   BulkOutcome handle_bulk(std::string_view frame, std::string& out,
                           BulkScratch& scratch) const;
 
-  const AnnotationStore& store() const noexcept { return store_; }
+  const StoreHandle& store() const noexcept { return store_; }
 
  private:
-  const AnnotationStore& store_;
+  const StoreHandle& store_;
   NetStatsFn netstats_;
+  ReloadFn reload_;
 };
 
 }  // namespace serve

@@ -1,7 +1,9 @@
 #include "serve/store.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <iterator>
+#include <utility>
 
 #include "core/thread_annotations.hpp"
 
@@ -120,6 +122,28 @@ const std::vector<std::pair<netbase::Asn, netbase::Asn>>& AnnotationStore::links
 std::uint64_t AnnotationStore::iface_count_of(netbase::Asn asn) const noexcept {
   const auto it = iface_count_by_as_.find(asn);
   return it == iface_count_by_as_.end() ? 0 : it->second;
+}
+
+StoreHandle::StoreHandle(StoreRef initial) : current_(std::move(initial)) {
+  if (!current_) std::abort();  // a handle always has a servable store
+}
+
+StoreHandle::StoreRef StoreHandle::acquire() const {
+  const core::MutexLock lock(mu_);
+  return current_;  // refcount bump only; no allocation
+}
+
+std::uint64_t StoreHandle::publish(StoreRef next) {
+  if (!next) std::abort();  // publishing "nothing" would strand readers
+  StoreRef retired;  // destroy the old generation outside the lock
+  std::uint64_t gen = 0;
+  {
+    const core::MutexLock lock(mu_);
+    retired = std::move(current_);
+    current_ = std::move(next);
+    gen = generation_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+  return gen;
 }
 
 }  // namespace serve

@@ -12,14 +12,22 @@
 // stay valid for the store's lifetime. The batched API answers many
 // exact lookups in one call — the shape `bdrmapit_serve` uses for
 // multi-address IFACE lines and the bench drives for throughput.
+//
+// A store is immutable once built. Live serving wraps it in a
+// StoreHandle (bottom of this header): an RCU-style publication point
+// that lets a reload driver atomically swap in a freshly loaded and
+// audited snapshot while in-flight queries finish on the generation
+// they started with.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "core/thread_annotations.hpp"
 #include "netbase/asn.hpp"
 #include "netbase/ip_addr.hpp"
 #include "netbase/prefix.hpp"
@@ -118,6 +126,54 @@ class AnnotationStore {
       links_by_as_;
   std::unordered_map<netbase::Asn, std::uint64_t> iface_count_by_as_;
   StoreStats stats_;
+};
+
+/// RCU-style publication point for hot snapshot reload.
+///
+/// A StoreHandle owns the *current generation* of the annotation map:
+/// an immutable AnnotationStore behind a shared_ptr. Query paths call
+/// acquire() once per request, pinning the generation they started on
+/// — a shared_ptr copy is one atomic refcount increment, no heap
+/// allocation, so the indirection preserves the zero-allocation reply
+/// contract. publish() atomically swaps in a freshly built store and
+/// bumps the generation counter; readers that acquired the old
+/// generation keep it alive until their request finishes, after which
+/// the last refcount drop frees it. Nothing ever blocks a reader on a
+/// writer beyond the brief pointer-swap critical section.
+///
+/// The swap point is an annotated core::Mutex (not a lock-free
+/// atomic<shared_ptr>) so the contract is enforced by the compile-time
+/// capability analysis like every other piece of shared serve state.
+class StoreHandle {
+ public:
+  using StoreRef = std::shared_ptr<const AnnotationStore>;
+
+  /// Takes the initial generation (generation 1). `initial` must be
+  /// non-null: a handle always has a servable store.
+  explicit StoreHandle(StoreRef initial);
+
+  StoreHandle(const StoreHandle&) = delete;
+  StoreHandle& operator=(const StoreHandle&) = delete;
+
+  /// Pins the current generation for one request. The returned ref
+  /// stays valid (and its answers self-consistent) for as long as the
+  /// caller holds it, regardless of concurrent publishes.
+  StoreRef acquire() const BDRMAPIT_EXCLUDES(mu_);
+
+  /// Atomically publishes `next` (non-null) as the new current
+  /// generation; in-flight requests finish on the generation they
+  /// acquired. Returns the new generation number.
+  std::uint64_t publish(StoreRef next) BDRMAPIT_EXCLUDES(mu_);
+
+  /// The current generation number (1-based, bumped by each publish).
+  std::uint64_t generation() const noexcept {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+ private:
+  mutable core::Mutex mu_;
+  StoreRef current_ BDRMAPIT_GUARDED_BY(mu_);
+  std::atomic<std::uint64_t> generation_{1};
 };
 
 }  // namespace serve

@@ -132,6 +132,93 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "--no-audit failed to serve a tampered snapshot (${rc})")
 endif()
 
+# ---- hot snapshot reload (stdin transport, synchronous) ---------------
+# A second dataset gives the reload something observable to flip to.
+run(${GEN} --out ${OUT}/data2 --vps 10 --seed 11 --scale small)
+run(${CLI}
+    --traces ${OUT}/data2/traces.txt
+    --rib ${OUT}/data2/rib.txt
+    --rels ${OUT}/data2/rels.txt
+    --delegations ${OUT}/data2/delegations.txt
+    --ixp ${OUT}/data2/ixp.txt
+    --aliases ${OUT}/data2/aliases.nodes
+    --output ${OUT}/annotations2.tsv
+    --snapshot-out ${OUT}/map2.snap)
+check_nonempty(${OUT}/map2.snap)
+
+# Capture each snapshot's STATS block in isolation, then require the
+# reload session's output byte-for-byte: STATS answers from map.snap
+# until the successful RELOAD, from map2.snap after it, and both
+# failure modes (audit-violating candidate, missing file) leave map2
+# serving with a structured ERR detail.
+function(capture_stats snap out_var)
+  file(WRITE ${OUT}/stats_query.txt "STATS\nQUIT\n")
+  execute_process(COMMAND ${SERVE} --snapshot ${snap} --quiet
+                  INPUT_FILE ${OUT}/stats_query.txt
+                  OUTPUT_VARIABLE text RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "STATS capture failed (${rc}) for ${snap}")
+  endif()
+  set(${out_var} "${text}" PARENT_SCOPE)
+endfunction()
+capture_stats(${OUT}/map.snap stats1)
+capture_stats(${OUT}/map2.snap stats2)
+if(stats1 STREQUAL stats2)
+  message(FATAL_ERROR "second dataset has identical STATS; reload flip unobservable")
+endif()
+
+file(WRITE ${OUT}/reload_session.txt
+  "STATS\nRELOAD ${OUT}/map2.snap\nSTATS\nRELOAD ${OUT}/tampered_aslink.snap\nSTATS\nRELOAD ${OUT}/does_not_exist.snap\nSTATS\nQUIT\n")
+file(WRITE ${OUT}/reload_expected.txt
+  "${stats1}OK\treload\t${OUT}/map2.snap\n${stats2}ERR\treload-failed\taudit-violation\n${stats2}ERR\treload-failed\tno-such-file\n${stats2}")
+execute_process(COMMAND ${SERVE} --snapshot ${OUT}/map.snap --quiet
+                INPUT_FILE ${OUT}/reload_session.txt
+                OUTPUT_FILE ${OUT}/reload_replies.txt
+                ERROR_QUIET
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bdrmapit_serve reload session failed (${rc})")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${OUT}/reload_replies.txt ${OUT}/reload_expected.txt
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  file(READ ${OUT}/reload_replies.txt got)
+  message(FATAL_ERROR "reload session replies differ from expected:\n${got}")
+endif()
+
+# --no-reload demotes RELOAD to a non-admin verb on every transport.
+file(WRITE ${OUT}/noreload_query.txt "RELOAD ${OUT}/map2.snap\nQUIT\n")
+execute_process(COMMAND ${SERVE} --snapshot ${OUT}/map.snap --quiet --no-reload
+                INPUT_FILE ${OUT}/noreload_query.txt
+                OUTPUT_VARIABLE noreload_out
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--no-reload session failed (${rc})")
+endif()
+if(NOT noreload_out STREQUAL "ERR\tnot-admin\tRELOAD\n")
+  message(FATAL_ERROR "--no-reload RELOAD reply: ${noreload_out}")
+endif()
+
+# ---- hot reload over TCP: RELOAD verb, SIGHUP, NETSTATS generation ----
+# Needs /dev/tcp and job control, so it only runs where bash exists
+# (everywhere we ship CI). The script exercises the asynchronous admin
+# path: RELOAD replies OK on queueing, the outcome lands in NETSTATS.
+find_program(BASH_EXECUTABLE bash)
+if(BASH_EXECUTABLE)
+  execute_process(COMMAND ${BASH_EXECUTABLE}
+                  ${CMAKE_CURRENT_LIST_DIR}/tcp_reload_smoke.sh
+                  ${SERVE} ${OUT}/map.snap ${OUT}/map2.snap
+                  ${OUT}/tampered_aslink.snap 18274
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE tcp_out ERROR_VARIABLE tcp_err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "tcp reload smoke failed (${rc}):\n${tcp_out}\n${tcp_err}")
+  endif()
+else()
+  message(STATUS "bash not found; skipping tcp reload smoke")
+endif()
+
 # ---- threaded run: byte-identical outputs for any thread count --------
 # The first run used the CLI default (hardware concurrency); pin 1 and
 # 4 explicitly and require identical TSV and snapshot bytes.

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "net/server.hpp"
+#include "net/source_limit.hpp"
 #include "serve/bulk.hpp"
 #include "serve/bulk_transport.hpp"
 #include "serve/protocol.hpp"
@@ -142,9 +143,12 @@ struct Client {
 class NetServerTest : public ::testing::Test {
  protected:
   void StartServer(net::ServerConfig config = {}, bool bulk = true) {
-    store_ = serve::AnnotationStore::open(tiny_snapshot());
-    ASSERT_NE(store_, nullptr);
-    protocol_ = std::make_unique<serve::Protocol>(*store_, [this] {
+    auto store = serve::AnnotationStore::open(tiny_snapshot());
+    ASSERT_NE(store, nullptr);
+    // Serve through the hot-reload handle, exactly as the app wires it.
+    handle_ = std::make_unique<serve::StoreHandle>(std::move(store));
+    store_ = handle_->acquire();
+    protocol_ = std::make_unique<serve::Protocol>(*handle_, [this] {
       const net::ServerStats st = server_->stats();
       return serve::Protocol::NetStats{
           {"accepted", st.accepted},     {"active", st.active},
@@ -198,7 +202,8 @@ class NetServerTest : public ::testing::Test {
     return expected;
   }
 
-  std::unique_ptr<serve::AnnotationStore> store_;
+  std::unique_ptr<serve::StoreHandle> handle_;
+  serve::StoreHandle::StoreRef store_;  ///< generation 1, for oracle checks
   std::unique_ptr<serve::Protocol> protocol_;
   std::unique_ptr<net::Server> server_;
   std::uint16_t port_ = 0;
@@ -739,6 +744,114 @@ TEST_F(NetServerTest, RateLimitRefillsOverTime) {
     std::this_thread::sleep_for(std::chrono::milliseconds(40));
   }
   EXPECT_EQ(server_->stats().rate_limited, 0u);
+}
+
+// ---- per-source-address aggregate rate limiting ------------------------
+
+TEST_F(NetServerTest, SourceRateLimitIsSharedAcrossConnections) {
+  net::ServerConfig config;
+  // No per-connection limit: only the aggregate source bucket gates.
+  // A negligible refill rate makes the shared budget deterministic:
+  // exactly 3 requests pass across BOTH connections combined — a
+  // second connection must not bring a fresh budget.
+  config.rate_limit_source = 0.001;
+  config.rate_burst_source = 3;
+  StartServer(config);
+  Client a(port_);
+  Client b(port_);
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+
+  // Serialize via reply reads so the charge order is deterministic.
+  ASSERT_TRUE(a.send_str("COUNT 65001\n"));
+  EXPECT_EQ(a.recv_lines(1), "65001\t2\n");
+  ASSERT_TRUE(a.send_str("COUNT 65001\n"));
+  EXPECT_EQ(a.recv_lines(1), "65001\t2\n");
+  ASSERT_TRUE(b.send_str("COUNT 65001\n"));  // third, and last, token
+  EXPECT_EQ(b.recv_lines(1), "65001\t2\n");
+
+  // The shared bucket is dry: both connections are now over limit.
+  ASSERT_TRUE(b.send_str("COUNT 65001\n"));
+  std::string got_b;
+  ASSERT_TRUE(b.recv_until_eof(&got_b));
+  EXPECT_EQ(got_b, "ERR\trate-limited\n");
+  ASSERT_TRUE(a.send_str("COUNT 65001\n"));
+  std::string got_a;
+  ASSERT_TRUE(a.recv_until_eof(&got_a));
+  EXPECT_EQ(got_a, "ERR\trate-limited\n");
+  EXPECT_EQ(server_->stats().rate_limited, 2u);
+}
+
+TEST_F(NetServerTest, SourceLimitComposesWithConnectionLimit) {
+  net::ServerConfig config;
+  // Per-connection budget of 2, source budget of 3: the first
+  // connection is stopped by its own bucket after 2, and a second
+  // connection then gets exactly the 1 remaining source token.
+  config.rate_limit = 0.001;
+  config.rate_burst = 2;
+  config.rate_limit_source = 0.001;
+  config.rate_burst_source = 3;
+  StartServer(config);
+  Client a(port_);
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(a.send_str("COUNT 65001\n"));
+  EXPECT_EQ(a.recv_lines(1), "65001\t2\n");
+  ASSERT_TRUE(a.send_str("COUNT 65001\n"));
+  EXPECT_EQ(a.recv_lines(1), "65001\t2\n");
+  ASSERT_TRUE(a.send_str("COUNT 65001\n"));  // conn bucket dry
+  std::string got_a;
+  ASSERT_TRUE(a.recv_until_eof(&got_a));
+  EXPECT_EQ(got_a, "ERR\trate-limited\n");
+
+  Client b(port_);
+  ASSERT_TRUE(b.connected());
+  ASSERT_TRUE(b.send_str("COUNT 65001\n"));  // last source token
+  EXPECT_EQ(b.recv_lines(1), "65001\t2\n");
+  ASSERT_TRUE(b.send_str("COUNT 65001\n"));  // source bucket dry
+  std::string got_b;
+  ASSERT_TRUE(b.recv_until_eof(&got_b));
+  EXPECT_EQ(got_b, "ERR\trate-limited\n");
+  EXPECT_EQ(server_->stats().rate_limited, 2u);
+}
+
+TEST(SourceLimiter, TakeRefundAndPrune) {
+  net::SourceKey key;
+  key.family = 4;
+  key.bytes[0] = 127;
+  key.bytes[3] = 1;
+  net::SourceLimiter limiter(/*rate=*/1.0, /*burst=*/2);
+  const auto t0 = net::SourceLimiter::Clock::now();
+  ASSERT_TRUE(limiter.enabled());
+  EXPECT_TRUE(limiter.take(key, t0));   // bucket created full (2)
+  EXPECT_TRUE(limiter.take(key, t0));
+  EXPECT_FALSE(limiter.take(key, t0));  // dry
+  limiter.refund(key);
+  EXPECT_TRUE(limiter.take(key, t0));   // refund restored one token
+  EXPECT_EQ(limiter.size(), 1u);
+  // After 2+ seconds of simulated idleness the bucket has refilled to
+  // full and the sweep drops it.
+  limiter.prune(t0 + std::chrono::seconds(3));
+  EXPECT_EQ(limiter.size(), 0u);
+  // A pruned source returns with a full bucket — same as first sight.
+  EXPECT_TRUE(limiter.take(key, t0 + std::chrono::seconds(3)));
+  EXPECT_EQ(limiter.size(), 1u);
+}
+
+TEST(SourceLimiter, DisabledAndUnknownFamilyAlwaysPass) {
+  net::SourceKey none;  // family 0: no IP peer
+  net::SourceKey v4;
+  v4.family = 4;
+  net::SourceLimiter off(/*rate=*/0, /*burst=*/0);
+  const auto t0 = net::SourceLimiter::Clock::now();
+  EXPECT_FALSE(off.enabled());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(off.take(v4, t0));
+  EXPECT_EQ(off.size(), 0u);
+
+  net::SourceLimiter on(/*rate=*/0.001, /*burst=*/1);
+  EXPECT_TRUE(on.take(v4, t0));
+  EXPECT_FALSE(on.take(v4, t0));
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(on.take(none, t0));
+  EXPECT_EQ(on.size(), 1u);  // the family-0 key is never tracked
 }
 
 TEST_F(NetServerTest, NoBulkServerTreatsMagicByteAsText) {

@@ -85,12 +85,15 @@ serve::Snapshot tiny_snapshot() {
 class ServeAllocTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    store_ = serve::AnnotationStore::open(tiny_snapshot());
-    ASSERT_NE(store_, nullptr);
-    protocol_ = std::make_unique<serve::Protocol>(*store_);
+    auto store = serve::AnnotationStore::open(tiny_snapshot());
+    ASSERT_NE(store, nullptr);
+    // Serve through the hot-reload handle, exactly as the app does:
+    // the per-request acquire() must not cost an allocation either.
+    handle_ = std::make_unique<serve::StoreHandle>(std::move(store));
+    protocol_ = std::make_unique<serve::Protocol>(*handle_);
   }
 
-  std::unique_ptr<serve::AnnotationStore> store_;
+  std::unique_ptr<serve::StoreHandle> handle_;
   std::unique_ptr<serve::Protocol> protocol_;
 };
 
@@ -137,6 +140,20 @@ TEST_F(ServeAllocTest, BulkPathIsAllocationFreeWhenWarm) {
   }
   EXPECT_EQ(guard.count(), 0u)
       << "bulk steady state allocated " << guard.count() << " times";
+}
+
+TEST_F(ServeAllocTest, StoreHandleAcquireIsAllocationFree) {
+  // The generation pin is a shared_ptr copy out of the handle — one
+  // atomic refcount bump, never a heap allocation. This is what keeps
+  // the reload indirection compatible with the zero-allocation reply
+  // contract the other tests enforce end to end.
+  AllocGuard guard;
+  for (int i = 0; i < 1000; ++i) {
+    const serve::StoreHandle::StoreRef pinned = handle_->acquire();
+    ASSERT_NE(pinned, nullptr);
+  }
+  EXPECT_EQ(guard.count(), 0u)
+      << "acquire() allocated " << guard.count() << " times";
 }
 
 TEST_F(ServeAllocTest, ErrorRepliesAreAllocationFreeWhenWarm) {

@@ -398,6 +398,61 @@ TEST(StoreAudit, LoadGateStatsTallyOpens) {
   EXPECT_GT(after.violations, before.violations);
 }
 
+// A hot-reload cycle is just a sequence of gated opens feeding a
+// StoreHandle: every attempt — success, opt-out, or audit rejection —
+// must move the gate tallies exactly as a cold open would, and only
+// the successes may advance the published generation.
+TEST(StoreAudit, LoadGateStatsTallyAcrossReloads) {
+  auto run = run_small(5);
+  auto healthy = [&] { return serve::snapshot_from_result(run.result); };
+
+  serve::LoadGateStats before = serve::AnnotationStore::load_gate_stats();
+  serve::StoreHandle handle(serve::AnnotationStore::open(healthy()));
+  EXPECT_EQ(handle.generation(), 1u);
+
+  // Reload #1: healthy candidate, audited, published.
+  {
+    auto next = serve::AnnotationStore::open(healthy());
+    ASSERT_NE(next, nullptr);
+    EXPECT_EQ(handle.publish(std::move(next)), 2u);
+  }
+
+  // Reload #2: CRC-valid but audit-violating candidate. The gate
+  // rejects it before publication, so the old generation keeps serving.
+  {
+    serve::Snapshot bad = healthy();
+    ASSERT_GE(bad.interfaces.size(), 2u);
+    std::swap(bad.interfaces.front(), bad.interfaces.back());
+    std::vector<serve::SnapshotIssue> issues;
+    EXPECT_EQ(serve::AnnotationStore::open(
+                  must_load(serialize(bad)), {}, &issues),
+              nullptr);
+    EXPECT_FALSE(issues.empty());
+  }
+  EXPECT_EQ(handle.generation(), 2u);
+
+  // Reload #3: audit opted out (the operator's emergency hatch).
+  {
+    serve::StoreOptions opt;
+    opt.audit = false;
+    auto next = serve::AnnotationStore::open(healthy(), opt);
+    ASSERT_NE(next, nullptr);
+    EXPECT_EQ(handle.publish(std::move(next)), 3u);
+  }
+
+  const serve::LoadGateStats after = serve::AnnotationStore::load_gate_stats();
+  EXPECT_EQ(after.opens, before.opens + 4);  // initial + three reloads
+  EXPECT_EQ(after.audits_run, before.audits_run + 3);
+  EXPECT_EQ(after.audits_skipped, before.audits_skipped + 1);
+  EXPECT_EQ(after.snapshots_rejected, before.snapshots_rejected + 1);
+  EXPECT_GT(after.violations, before.violations);
+
+  // The surviving generation still answers: the rejected candidate
+  // never reached the handle.
+  const auto pinned = handle.acquire();
+  EXPECT_EQ(pinned->stats().interfaces, healthy().interfaces.size());
+}
+
 TEST(StoreAudit, EmptySnapshotValidatesCleanAndServesZeroState) {
   const serve::Snapshot empty;
   EXPECT_TRUE(serve::validate_snapshot(empty).empty());

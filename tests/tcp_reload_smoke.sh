@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# TCP hot-reload smoke, driven by cli_pipeline.cmake.
+#
+#   tcp_reload_smoke.sh <serve-binary> <snap> <snap2> <tampered-snap> <port>
+#
+# Starts bdrmapit_serve on 127.0.0.1:<port> over <snap>, then walks the
+# asynchronous admin path end to end: RELOAD replies OK on queueing and
+# the outcome is observed through NETSTATS (generation / reloads /
+# reload_failed). A CRC-valid but audit-violating candidate must be
+# rejected off the event loops without moving the generation, SIGHUP
+# must re-read the last successfully loaded path, and SIGTERM must
+# still drain cleanly (exit 0) after all of it.
+set -u
+
+SERVE=$1 SNAP=$2 SNAP2=$3 TAMPERED=$4 PORT=$5
+
+"$SERVE" --snapshot "$SNAP" --listen "127.0.0.1:$PORT" --threads 2 --quiet &
+pid=$!
+trap 'kill -9 "$pid" 2>/dev/null' EXIT
+
+query() {  # one request line; the reply runs until QUIT closes the stream
+  exec 3<>"/dev/tcp/127.0.0.1/$PORT" 2>/dev/null || return 1
+  printf '%s\nQUIT\n' "$1" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+
+netstat_row() { query NETSTATS | awk -v k="$1" -F'\t' '$1 == k { print $2 }'; }
+
+await_row() {  # await_row <key> <value>: poll NETSTATS up to ~10s
+  for _ in $(seq 100); do
+    [ "$(netstat_row "$1")" = "$2" ] && return 0
+    sleep 0.1
+  done
+  echo "NETSTATS $1 never reached $2 (got $(netstat_row "$1"))"
+  return 1
+}
+
+for _ in $(seq 100); do
+  query STATS >/dev/null 2>&1 && break
+  sleep 0.1
+done
+
+[ "$(netstat_row generation)" = 1 ] || { echo "initial generation != 1"; exit 1; }
+
+# Successful reload: OK on queueing, then the generation advances.
+reply=$(query "RELOAD $SNAP2")
+case $reply in
+  "OK	reload	$SNAP2") ;;
+  *) echo "RELOAD reply: $reply"; exit 1 ;;
+esac
+await_row generation 2 || exit 1
+await_row reloads 1 || exit 1
+
+# Audit-violating candidate: queued fine, rejected off the loops; the
+# old generation keeps serving.
+query "RELOAD $TAMPERED" >/dev/null
+await_row reload_failed 1 || exit 1
+[ "$(netstat_row generation)" = 2 ] || { echo "failed reload moved the generation"; exit 1; }
+
+# SIGHUP re-reads the last successfully loaded path (map2 by now).
+kill -HUP "$pid"
+await_row generation 3 || exit 1
+
+kill -TERM "$pid"
+wait "$pid"
