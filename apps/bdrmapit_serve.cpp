@@ -69,6 +69,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/errno_util.hpp"
+#include "core/failpoint.hpp"
 #include "core/thread_annotations.hpp"
 #include "net/server.hpp"
 #include "parallel/thread_pool.hpp"
@@ -86,7 +88,8 @@ void usage(const char* argv0) {
                "[--idle-timeout SECONDS]\n"
                "       [--bulk|--no-bulk] [--rate-limit N] "
                "[--rate-burst N]\n"
-               "       [--rate-limit-source N] [--rate-burst-source N]\n",
+               "       [--rate-limit-source N] [--rate-burst-source N]\n"
+               "       [--rate-limit-source-max N]\n",
                argv0);
 }
 
@@ -283,16 +286,33 @@ class ReloadDriver {
       std::fprintf(stderr, "reload failed %s: no such file\n", path.c_str());
       return fail("no-such-file");
     }
-    serve::Snapshot snap;
-    std::string err;
-    if (!serve::load_snapshot_file(path, &snap, &err)) {
-      std::fprintf(stderr, "reload failed %s: %s\n", path.c_str(),
-                   err.c_str());
+    // "serve.reload.load" fails the attempt before any file is touched
+    // — the coarse whole-reload fault the finer snapshot/store points
+    // compose from.
+    if (const auto fp = BDRMAPIT_FAILPOINT("serve.reload.load")) {
+      std::fprintf(stderr, "reload failed %s: %s (injected)\n", path.c_str(),
+                   core::errno_string(fp.err != 0 ? fp.err : EIO).c_str());
       return fail("load-error");
     }
+    serve::Snapshot snap;
+    std::string err;
     std::vector<serve::SnapshotIssue> issues;
-    std::unique_ptr<serve::AnnotationStore> next =
-        serve::AnnotationStore::open(std::move(snap), opt_, &issues);
+    std::unique_ptr<serve::AnnotationStore> next;
+    // The reload thread must survive anything the load or audit throws
+    // (bad_alloc on a huge candidate, a pool worker's propagated
+    // exception): a failed reload is a counter and a diagnostic, never
+    // a dead driver or a dead process.
+    try {
+      if (!serve::load_snapshot_file(path, &snap, &err)) {
+        std::fprintf(stderr, "reload failed %s: %s\n", path.c_str(),
+                     err.c_str());
+        return fail("load-error");
+      }
+      next = serve::AnnotationStore::open(std::move(snap), opt_, &issues);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "reload failed %s: %s\n", path.c_str(), e.what());
+      return fail("load-error");
+    }
     if (!next) {
       // The startup gate would have refused this image with exit 2;
       // live, the old generation simply keeps serving.
@@ -397,6 +417,7 @@ struct ListenOptions {
   double rate_burst = 0;
   double rate_limit_source = 0;
   double rate_burst_source = 0;
+  std::size_t rate_source_max = 65536;
 };
 
 int run_listen(const serve::StoreHandle& handle, ReloadDriver* reload,
@@ -412,6 +433,7 @@ int run_listen(const serve::StoreHandle& handle, ReloadDriver* reload,
   config.rate_burst = opt.rate_burst;
   config.rate_limit_source = opt.rate_limit_source;
   config.rate_burst_source = opt.rate_burst_source;
+  config.rate_source_max = opt.rate_source_max;
   if (opt.bulk) {
     config.binary_magic = serve::bulk::kMagic;
     config.rate_limited_frame = serve::bulk::rate_limited_frame(opt.rate_limit);
@@ -436,6 +458,10 @@ int run_listen(const serve::StoreHandle& handle, ReloadDriver* reload,
             {"closed", st.closed},         {"shed", st.shed},
             {"requests", st.requests},     {"bytes_in", st.bytes_in},
             {"bytes_out", st.bytes_out},   {"rate_limited", st.rate_limited},
+            {"read_errors", st.read_errors},
+            {"write_errors", st.write_errors},
+            {"accept_failures", st.accept_failures},
+            {"oom_closed", st.oom_closed},
             {"bulk_frames", st.frames},    {"bulk_addrs", st.frame_units},
             {"reloads", reload != nullptr ? reload->reloads() : 0},
             {"reload_failed", reload != nullptr ? reload->failed() : 0},
@@ -556,6 +582,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --rate-burst-source must be >= 1\n");
         return 1;
       }
+    } else if (a == "--rate-limit-source-max" && i + 1 < argc) {
+      const long v = std::atol(argv[++i]);
+      if (v < 0) {
+        std::fprintf(stderr,
+                     "error: --rate-limit-source-max must be >= 0 "
+                     "(0 = unbounded)\n");
+        return 1;
+      }
+      listen_opt.rate_source_max = static_cast<std::size_t>(v);
     } else {
       usage(argv[0]);
       return 1;

@@ -1,0 +1,47 @@
+// core/errno_util.hpp — thread-safe errno formatting.
+//
+// std::strerror may return a pointer into static storage that a
+// concurrent call overwrites — unacceptable in a server whose errno
+// formatting happens on racing event loops. errno_string() is the
+// strerror_r-backed replacement used at every errno-formatting site.
+//
+// strerror_r comes in two shapes — XSI (int return, fills the buffer)
+// and GNU (char* return, may point at a static table instead of the
+// buffer) — and which one <string.h> declares depends on feature-test
+// macros, not on the platform. Overloading on the return type lets the
+// compiler pick the right unpacking without any #ifdef guesswork.
+
+#pragma once
+
+#include <string.h>  // strerror_r: the POSIX/GNU declaration, not <cstring>'s
+
+#include <cerrno>
+#include <string>
+
+namespace core {
+
+namespace detail {
+
+// GNU variant: the result pointer is the string (buf may be unused).
+inline const char* strerror_pick(const char* result, const char*) noexcept {
+  return result != nullptr ? result : "unknown error";
+}
+
+// XSI variant: 0 means buf was filled; anything else is a lookup
+// failure for an out-of-range errno.
+inline const char* strerror_pick(int result, const char* buf) noexcept {
+  return result == 0 ? buf : "unknown error";
+}
+
+}  // namespace detail
+
+/// The message for `err`, safe to call from any thread.
+inline std::string errno_string(int err) {
+  char buf[128] = {};
+  return detail::strerror_pick(::strerror_r(err, buf, sizeof buf), buf);
+}
+
+/// The message for the calling thread's current errno.
+inline std::string errno_string() { return errno_string(errno); }
+
+}  // namespace core

@@ -1,0 +1,317 @@
+#include "core/failpoint.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+namespace core::failpoint {
+
+namespace {
+
+// splitmix64: tiny, allocation-free, and good enough to make p=
+// schedules look independent across sites seeded from seed ^ name.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kDefaultSeed = 0x9D2CF6A1B3E5D7F9ULL;
+
+/// Name → Site map plus the global seed. A process has exactly one;
+/// its constructor arms whatever BDRMAPIT_FAILPOINTS requests, so env
+/// arming works in every binary that links the library without any
+/// per-binary wiring.
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry registry;
+    return registry;
+  }
+
+  Site& site(std::string_view name) BDRMAPIT_EXCLUDES(mu_) {
+    const core::MutexLock lock(mu_);
+    return site_locked(name);
+  }
+
+  bool arm(std::string_view spec, std::string* error) BDRMAPIT_EXCLUDES(mu_);
+
+  void disarm(std::string_view name) BDRMAPIT_EXCLUDES(mu_) {
+    const core::MutexLock lock(mu_);
+    const auto it = sites_.find(std::string(name));
+    if (it != sites_.end()) it->second->disarm();
+  }
+
+  void disarm_all() BDRMAPIT_EXCLUDES(mu_) {
+    const core::MutexLock lock(mu_);
+    for (auto& [name, s] : sites_) s->disarm();
+  }
+
+  void reset_all(std::uint64_t seed) BDRMAPIT_EXCLUDES(mu_) {
+    const core::MutexLock lock(mu_);
+    seed_ = seed;
+    for (auto& [name, s] : sites_) s->reset(seed ^ fnv1a(name));
+  }
+
+  std::uint64_t hits(std::string_view name) BDRMAPIT_EXCLUDES(mu_) {
+    const core::MutexLock lock(mu_);
+    const auto it = sites_.find(std::string(name));
+    return it == sites_.end() ? 0 : it->second->hits();
+  }
+
+  std::vector<std::pair<std::string, std::uint64_t>> all_hits()
+      BDRMAPIT_EXCLUDES(mu_) {
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    {
+      const core::MutexLock lock(mu_);
+      out.reserve(sites_.size());
+      for (const auto& [name, s] : sites_) out.emplace_back(name, s->hits());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  Registry() {
+    if (const char* seed_text = std::getenv("BDRMAPIT_FAILPOINTS_SEED")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(seed_text, &end, 0);
+      if (end != seed_text && *end == '\0') seed_ = v;
+    }
+    if (const char* spec = std::getenv("BDRMAPIT_FAILPOINTS")) {
+      std::string err;
+      if (!arm(spec, &err))
+        // A typo'd spec must not pass silently, but it also must not
+        // take down a server that would otherwise run fine.
+        std::fprintf(stderr, "failpoint: ignoring BDRMAPIT_FAILPOINTS: %s\n",
+                     err.c_str());
+    }
+  }
+
+  Site& site_locked(std::string_view name) BDRMAPIT_REQUIRES(mu_) {
+    auto it = sites_.find(std::string(name));
+    if (it == sites_.end()) {
+      auto s = std::make_unique<Site>(std::string(name), seed_ ^ fnv1a(name));
+      it = sites_.emplace(std::string(name), std::move(s)).first;
+    }
+    return *it->second;
+  }
+
+  core::Mutex mu_;
+  std::uint64_t seed_ BDRMAPIT_GUARDED_BY(mu_) = kDefaultSeed;
+  // unique_ptr values: Site addresses must survive rehashing, since
+  // BDRMAPIT_FAILPOINT call sites cache the reference forever.
+  std::unordered_map<std::string, std::unique_ptr<Site>> sites_
+      BDRMAPIT_GUARDED_BY(mu_);
+};
+
+bool spec_fail(std::string* error, std::string_view spec, const char* why) {
+  if (error) *error = std::string(why) + " in '" + std::string(spec) + "'";
+  return false;
+}
+
+}  // namespace
+
+int parse_errno(std::string_view text) noexcept {
+  struct Entry {
+    const char* name;
+    int value;
+  };
+  static constexpr Entry kTable[] = {
+      {"EPIPE", EPIPE},     {"ECONNRESET", ECONNRESET},
+      {"EIO", EIO},         {"ENOSPC", ENOSPC},
+      {"EMFILE", EMFILE},   {"ENFILE", ENFILE},
+      {"ENOMEM", ENOMEM},   {"ENOBUFS", ENOBUFS},
+      {"EAGAIN", EAGAIN},   {"EINTR", EINTR},
+      {"EBADF", EBADF},     {"EINVAL", EINVAL},
+      {"EACCES", EACCES},   {"ENOENT", ENOENT},
+      {"ETIMEDOUT", ETIMEDOUT},
+  };
+  for (const Entry& e : kTable)
+    if (text == e.name) return e.value;
+  if (text.empty()) return -1;
+  int value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+    if (value > 4096) return -1;
+  }
+  return value;
+}
+
+Site::Site(std::string name, std::uint64_t seed) : name_(std::move(name)) {
+  const core::MutexLock lock(mu_);
+  prng_ = seed;
+}
+
+double Site::next_uniform_locked() {
+  // 53 mantissa bits of the next splitmix64 output, uniform in [0, 1).
+  return static_cast<double>(splitmix64(prng_) >> 11) * 0x1.0p-53;
+}
+
+Fired Site::evaluate() {
+  if (!armed_.load(std::memory_order_relaxed)) return {};
+  const core::MutexLock lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return {};  // raced a disarm
+  ++evals_;
+  if (every_n_ > 1 && evals_ % every_n_ != 0) return {};
+  if (p_ < 1.0 && next_uniform_locked() >= p_) return {};
+  if (times_ > 0 && --times_ == 0)
+    armed_.store(false, std::memory_order_relaxed);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return Fired{action_, err_};
+}
+
+void Site::arm(Action action, int err, double p, std::uint64_t times,
+               std::uint64_t every_n) {
+  const core::MutexLock lock(mu_);
+  action_ = action;
+  err_ = err;
+  p_ = p;
+  times_ = times;
+  every_n_ = every_n;
+  evals_ = 0;
+  armed_.store(action != Action::kNone, std::memory_order_relaxed);
+}
+
+void Site::disarm() {
+  const core::MutexLock lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+void Site::reset(std::uint64_t seed) {
+  const core::MutexLock lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+  action_ = Action::kNone;
+  err_ = 0;
+  p_ = 1.0;
+  times_ = 0;
+  every_n_ = 0;
+  evals_ = 0;
+  prng_ = seed;
+  hits_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+// One `name=action[:opt]...` clause of a spec.
+bool arm_one(Registry& registry, std::string_view clause, std::string* error) {
+  const std::size_t eq = clause.find('=');
+  if (eq == std::string_view::npos || eq == 0)
+    return spec_fail(error, clause, "want name=action");
+  const std::string_view name = clause.substr(0, eq);
+  std::string_view rest = clause.substr(eq + 1);
+
+  // Tokenize on ':'. The first token is the action; `err` consumes the
+  // next token as its errno; the remainder are k=v options.
+  std::vector<std::string_view> tokens;
+  while (!rest.empty()) {
+    const std::size_t colon = rest.find(':');
+    tokens.push_back(rest.substr(0, colon));
+    if (colon == std::string_view::npos) break;
+    rest = rest.substr(colon + 1);
+  }
+  if (tokens.empty()) return spec_fail(error, clause, "missing action");
+
+  Action action = Action::kNone;
+  int err = 0;
+  std::size_t opt_start = 1;
+  const std::string_view verb = tokens[0];
+  if (verb == "on") {
+    action = Action::kOn;
+  } else if (verb == "short") {
+    action = Action::kShort;
+  } else if (verb == "err") {
+    if (tokens.size() < 2)
+      return spec_fail(error, clause, "err needs an errno (err:EPIPE)");
+    err = parse_errno(tokens[1]);
+    if (err < 0) return spec_fail(error, clause, "unknown errno");
+    action = Action::kErr;
+    opt_start = 2;
+  } else if (verb == "off") {
+    registry.site(name).disarm();
+    return true;
+  } else {
+    return spec_fail(error, clause, "unknown action");
+  }
+
+  double p = 1.0;
+  std::uint64_t times = 0;
+  std::uint64_t every_n = 0;
+  for (std::size_t i = opt_start; i < tokens.size(); ++i) {
+    const std::string_view tok = tokens[i];
+    const std::size_t opt_eq = tok.find('=');
+    if (opt_eq == std::string_view::npos)
+      return spec_fail(error, clause, "want option=value");
+    const std::string_view key = tok.substr(0, opt_eq);
+    const std::string value(tok.substr(opt_eq + 1));
+    char* end = nullptr;
+    if (key == "p") {
+      p = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0' || p < 0.0 || p > 1.0)
+        return spec_fail(error, clause, "p wants a probability in [0, 1]");
+    } else if (key == "times") {
+      const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || v == 0)
+        return spec_fail(error, clause, "times wants a positive count");
+      times = v;
+    } else if (key == "1in") {
+      const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || v == 0)
+        return spec_fail(error, clause, "1in wants a positive period");
+      every_n = v;
+    } else {
+      return spec_fail(error, clause, "unknown option");
+    }
+  }
+  registry.site(name).arm(action, err, p, times, every_n);
+  return true;
+}
+
+bool Registry::arm(std::string_view spec, std::string* error) {
+  while (!spec.empty()) {
+    const std::size_t semi = spec.find(';');
+    const std::string_view clause = spec.substr(0, semi);
+    if (!clause.empty() && !arm_one(*this, clause, error)) return false;
+    if (semi == std::string_view::npos) break;
+    spec = spec.substr(semi + 1);
+  }
+  return true;
+}
+
+}  // namespace
+
+Site& site(std::string_view name) { return Registry::instance().site(name); }
+
+bool arm(std::string_view spec, std::string* error) {
+  return Registry::instance().arm(spec, error);
+}
+
+void disarm(std::string_view name) { Registry::instance().disarm(name); }
+
+void disarm_all() { Registry::instance().disarm_all(); }
+
+void reset_all(std::uint64_t seed) { Registry::instance().reset_all(seed); }
+
+std::uint64_t hits(std::string_view name) {
+  return Registry::instance().hits(name);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> all_hits() {
+  return Registry::instance().all_hits();
+}
+
+}  // namespace core::failpoint

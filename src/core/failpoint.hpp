@@ -1,0 +1,183 @@
+// core/failpoint.hpp — compile-time-gated fault injection.
+//
+// A *failpoint* is a named site at a syscall or I/O boundary where a
+// test (or an operator chasing a production bug) can make the code
+// believe the operation failed — without root, iptables, or a full
+// disk. Sites are declared in place:
+//
+//   if (const auto fp = BDRMAPIT_FAILPOINT("net.sendmsg")) {
+//     errno = fp.err ? fp.err : EPIPE;
+//     n = -1;                       // pretend the syscall failed
+//   } else {
+//     n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+//   }
+//
+// and armed either programmatically (core::failpoint::arm) or from the
+// environment at process start:
+//
+//   BDRMAPIT_FAILPOINTS="net.sendmsg=err:EPIPE:p=0.3;serve.snapshot.read=short"
+//   BDRMAPIT_FAILPOINTS_SEED=42
+//
+// Spec grammar, per point (points separated by ';'):
+//
+//   name=<action>[:p=<prob>][:times=<K>][:1in=<N>]
+//
+//   action   on            fire (generic failure, err = 0)
+//            err:<ERRNO>   fire with that errno (name like EPIPE, or a
+//                          number)
+//            short         fire as a short read / truncation
+//            off           disarm the point
+//   p=F      fire with probability F per evaluation (deterministic:
+//            driven by a per-site PRNG seeded from the global seed and
+//            the site name, so a given seed replays the same schedule)
+//   times=K  fire at most K times, then auto-disarm (one-shot: K = 1)
+//   1in=N    fire on every Nth evaluation only
+//
+// Every *fire* (not every evaluation) bumps the site's hit counter —
+// the chaos suite asserts NETSTATS failure counters equal these
+// exactly, which is what makes injected faults falsifiable.
+//
+// Gating: with BDRMAPIT_FAILPOINTS_ENABLED undefined (Release builds
+// by default; the BDRMAPIT_FAILPOINTS CMake option), the macro expands
+// to a constant not-fired value and every `if (fp)` branch is dead
+// code — zero instructions, zero allocations on the hot path. When
+// compiled in, an unarmed site costs one relaxed atomic load after a
+// one-time registration.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/thread_annotations.hpp"
+
+namespace core::failpoint {
+
+/// What an armed site asks the call site to simulate.
+enum class Action : std::uint8_t {
+  kNone = 0,  ///< not fired; proceed with the real operation
+  kOn,        ///< generic failure (call site picks the errno)
+  kErr,       ///< fail with Fired::err as the errno
+  kShort,     ///< short read / truncation instead of a hard error
+};
+
+/// Result of evaluating a failpoint. Contextually false when the site
+/// did not fire, so `if (const auto fp = BDRMAPIT_FAILPOINT(...))`
+/// reads naturally.
+struct Fired {
+  Action action = Action::kNone;
+  int err = 0;  ///< errno to simulate (0: call site's default)
+
+  explicit operator bool() const noexcept { return action != Action::kNone; }
+};
+
+/// One named site. The fast path (unarmed) is a single relaxed load;
+/// arming, firing, and counter updates go through an internal mutex —
+/// acceptable because an armed site is already simulating a failure.
+/// Sites are created by the registry and live for the process.
+class Site {
+ public:
+  explicit Site(std::string name, std::uint64_t seed);
+
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  /// The hot call: returns not-fired immediately when unarmed,
+  /// otherwise applies the armed mode (probability, every-N, remaining
+  /// count) and reports whether — and how — to fail.
+  Fired evaluate() BDRMAPIT_EXCLUDES(mu_);
+
+  /// Times this site actually fired (not evaluations).
+  std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& name() const noexcept { return name_; }
+
+  // Registry internals (callers use the free functions below).
+  void arm(Action action, int err, double p, std::uint64_t times,
+           std::uint64_t every_n) BDRMAPIT_EXCLUDES(mu_);
+  void disarm() BDRMAPIT_EXCLUDES(mu_);
+  /// Disarm, zero the counters, and reseed the PRNG — the
+  /// between-schedules reset the chaos suite relies on for
+  /// reproducibility.
+  void reset(std::uint64_t seed) BDRMAPIT_EXCLUDES(mu_);
+
+ private:
+  double next_uniform_locked() BDRMAPIT_REQUIRES(mu_);
+
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> hits_{0};
+
+  core::Mutex mu_;
+  Action action_ BDRMAPIT_GUARDED_BY(mu_) = Action::kNone;
+  int err_ BDRMAPIT_GUARDED_BY(mu_) = 0;
+  double p_ BDRMAPIT_GUARDED_BY(mu_) = 1.0;
+  std::uint64_t times_ BDRMAPIT_GUARDED_BY(mu_) = 0;    ///< 0 = unlimited
+  std::uint64_t every_n_ BDRMAPIT_GUARDED_BY(mu_) = 0;  ///< 0/1 = every eval
+  std::uint64_t evals_ BDRMAPIT_GUARDED_BY(mu_) = 0;
+  std::uint64_t prng_ BDRMAPIT_GUARDED_BY(mu_) = 0;  ///< splitmix64 state
+};
+
+/// Looks the site up by name, creating it (disarmed) on first use.
+/// The returned reference is stable for the process lifetime — the
+/// BDRMAPIT_FAILPOINT macro caches it in a function-local static.
+Site& site(std::string_view name);
+
+/// Arms (or disarms, action `off`) every point in `spec` — the same
+/// grammar as the BDRMAPIT_FAILPOINTS environment variable. Returns
+/// false with a diagnostic in *error on a malformed spec; points
+/// before the malformed one stay armed.
+bool arm(std::string_view spec, std::string* error = nullptr);
+
+/// Disarms one site (no-op if it does not exist).
+void disarm(std::string_view name);
+
+/// Disarms every site. Counters and PRNG state are left intact.
+void disarm_all();
+
+/// Disarms every site, zeroes all hit counters, and reseeds every
+/// per-site PRNG from `seed` — call at the top of each chaos schedule.
+void reset_all(std::uint64_t seed);
+
+/// Fire count of one site (0 if it was never referenced).
+std::uint64_t hits(std::string_view name);
+
+/// (name, fires) for every registered site, sorted by name.
+std::vector<std::pair<std::string, std::uint64_t>> all_hits();
+
+/// Whether the failpoint machinery is compiled in at all.
+constexpr bool compiled_in() noexcept {
+#if defined(BDRMAPIT_FAILPOINTS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Parses an errno name ("EPIPE", "EMFILE", ...) or a decimal number.
+/// Returns -1 on an unknown name (exposed for spec-parser tests).
+int parse_errno(std::string_view text) noexcept;
+
+}  // namespace core::failpoint
+
+#if defined(BDRMAPIT_FAILPOINTS_ENABLED)
+// The lambda gives each call site its own function-local static — the
+// registry lookup runs once per site, and every later pass is just the
+// unarmed relaxed-load fast path.
+#define BDRMAPIT_FAILPOINT(name)                        \
+  ([]() -> ::core::failpoint::Fired {                   \
+    static ::core::failpoint::Site& fp_site =           \
+        ::core::failpoint::site(name);                  \
+    return fp_site.evaluate();                          \
+  }())
+#else
+// Compiled out: a constant not-fired value; `if (fp)` branches are
+// eliminated entirely.
+#define BDRMAPIT_FAILPOINT(name) (::core::failpoint::Fired{})
+#endif

@@ -8,7 +8,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <new>
 
+#include "core/failpoint.hpp"
 #include "net/server.hpp"
 
 namespace net {
@@ -58,6 +60,20 @@ void Connection::start() {
 }
 
 void Connection::on_events(std::uint32_t events) {
+  // bad_alloc anywhere on a connection's event path — buffer growth,
+  // reply rendering, epoll bookkeeping — costs exactly this connection,
+  // never the process. The buffers may be mid-update when the throw
+  // unwinds, which is fine: the connection is discarded whole.
+  try {
+    if (const auto fp = BDRMAPIT_FAILPOINT("core.alloc")) throw std::bad_alloc();
+    handle_events(events);
+  } catch (const std::bad_alloc&) {
+    server_.note_oom_closed();
+    close();  // no-op if the body already closed before throwing
+  }
+}
+
+void Connection::handle_events(std::uint32_t events) {
   if ((events & (EPOLLHUP | EPOLLERR)) != 0 && (events & EPOLLIN) == 0) {
     close();
     return;
@@ -72,7 +88,13 @@ void Connection::on_events(std::uint32_t events) {
 void Connection::on_readable() {
   char buf[kReadChunk];
   for (;;) {
-    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    ssize_t n;
+    if (const auto fp = BDRMAPIT_FAILPOINT("net.read")) {
+      errno = fp.err != 0 ? fp.err : ECONNRESET;
+      n = -1;
+    } else {
+      n = ::recv(fd_, buf, sizeof buf, 0);
+    }
     if (n > 0) {
       server_.note_bytes_in(static_cast<std::size_t>(n));
       rbuf_.append(buf, static_cast<std::size_t>(n));
@@ -85,7 +107,10 @@ void Connection::on_readable() {
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
-    close();  // ECONNRESET and friends: nothing left to flush usefully
+    // ECONNRESET and friends: nothing left to flush usefully. Exactly
+    // one counter bump per failed connection, then it is gone.
+    server_.note_read_error();
+    close();
     return;
   }
   pump();
@@ -223,7 +248,13 @@ void Connection::flush() {
     msghdr msg{};
     msg.msg_iov = iov;
     msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
-    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    ssize_t n;
+    if (const auto fp = BDRMAPIT_FAILPOINT("net.sendmsg")) {
+      errno = fp.err != 0 ? fp.err : EPIPE;
+      n = -1;
+    } else {
+      n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    }
     if (n > 0) {
       server_.note_bytes_out(static_cast<std::size_t>(n));
       last_active_ = Clock::now();
@@ -235,7 +266,11 @@ void Connection::flush() {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
-    close();  // peer gone; replies are undeliverable
+    // Peer gone (EPIPE/ECONNRESET) or the kernel refused the write:
+    // replies are undeliverable, so close exactly this connection and
+    // bump the counter exactly once.
+    server_.note_write_error();
+    close();
     return;
   }
   if (ooff < out_.size()) {

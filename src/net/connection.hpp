@@ -83,7 +83,11 @@ class Connection {
   void check_idle(Clock::time_point now);
 
  private:
+  /// Epoll entry point: bad_alloc containment boundary. An allocation
+  /// failure anywhere below (buffer growth, reply rendering) closes
+  /// exactly this connection and bumps the server's oom counter.
   void on_events(std::uint32_t events) BDRMAPIT_REQUIRES(loop_);
+  void handle_events(std::uint32_t events) BDRMAPIT_REQUIRES(loop_);
   void on_readable() BDRMAPIT_REQUIRES(loop_);
   /// Parses complete requests (text lines and binary frames) out of
   /// rbuf_ and dispatches them, stopping early on backpressure, QUIT,

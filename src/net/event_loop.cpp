@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/failpoint.hpp"
+
 namespace net {
 
 void EventLoop::assert_in_loop() const noexcept {
@@ -81,6 +83,11 @@ void EventLoop::set_tick(std::chrono::milliseconds period,
 }
 
 void EventLoop::wake() noexcept {
+  // "net.wake" simulates a lost eventfd write. The loop must not wedge:
+  // run() re-checks the pending queue before every epoll_wait and
+  // shortens its sleep to zero while tasks are queued, so a swallowed
+  // wake costs at most one already-scheduled wakeup of latency.
+  if (BDRMAPIT_FAILPOINT("net.wake")) return;
   const std::uint64_t one = 1;
   // A full eventfd counter still leaves the loop awake; ignore errors.
   [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof one);
@@ -114,6 +121,13 @@ void EventLoop::run() {
       const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
           next_tick - Clock::now());
       timeout_ms = static_cast<int>(std::max<std::int64_t>(0, until.count()));
+    }
+    // Lost-wakeup immunity: if tasks are already queued, don't sleep.
+    // The eventfd write in wake() is best-effort (and fault-injectable);
+    // this check is what makes a swallowed wake harmless.
+    {
+      const core::MutexLock lock(mu_);
+      if (!pending_.empty()) timeout_ms = 0;
     }
     const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
     if (n < 0) {

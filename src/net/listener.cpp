@@ -1,21 +1,18 @@
 #include "net/listener.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
+
+#include "core/errno_util.hpp"
+#include "core/failpoint.hpp"
 
 namespace net {
-
-namespace {
-
-std::string errno_string() { return std::strerror(errno); }
-
-}  // namespace
 
 std::unique_ptr<Listener> Listener::open(const std::string& host,
                                          std::uint16_t port,
@@ -48,7 +45,7 @@ std::unique_ptr<Listener> Listener::open(const std::string& host,
   const int fd =
       ::socket(family, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) {
-    if (error) *error = "socket: " + errno_string();
+    if (error) *error = "socket: " + core::errno_string();
     return nullptr;
   }
   const int one = 1;
@@ -57,12 +54,12 @@ std::unique_ptr<Listener> Listener::open(const std::string& host,
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), addr_len) != 0) {
     if (error)
       *error = "bind " + host + ":" + std::to_string(port) + ": " +
-               errno_string();
+               core::errno_string();
     ::close(fd);
     return nullptr;
   }
   if (::listen(fd, SOMAXCONN) != 0) {
-    if (error) *error = "listen: " + errno_string();
+    if (error) *error = "listen: " + core::errno_string();
     ::close(fd);
     return nullptr;
   }
@@ -78,26 +75,77 @@ std::unique_ptr<Listener> Listener::open(const std::string& host,
       bound = ntohs(reinterpret_cast<const sockaddr_in6*>(&local)->sin6_port);
   }
 
-  return std::unique_ptr<Listener>(new Listener(fd, bound));
+  // The spare descriptor backing the EMFILE shed trick. Failing to
+  // open it is not fatal — the listener merely loses the explicit-
+  // refusal behavior under fd exhaustion.
+  const int spare = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+
+  return std::unique_ptr<Listener>(new Listener(fd, bound, spare));
 }
 
 Listener::~Listener() {
+  if (spare_fd_ >= 0) ::close(spare_fd_);
   if (fd_ >= 0) ::close(fd_);
 }
 
-int Listener::accept_one(bool* exhausted) noexcept {
-  *exhausted = false;
+void Listener::shed_one_pending() noexcept {
+  if (spare_fd_ >= 0) {
+    ::close(spare_fd_);
+    spare_fd_ = -1;
+  }
+  // With the spare's slot free this accept can succeed where the
+  // caller's just failed; closing immediately turns a connection that
+  // would rot in the backlog into a prompt EOF at the client.
+  const int cfd =
+      ::accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (cfd >= 0) ::close(cfd);
+  spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+}
+
+int Listener::accept_one(AcceptStatus* status) noexcept {
   for (;;) {
-    const int cfd = ::accept4(fd_, nullptr, nullptr,
-                              SOCK_NONBLOCK | SOCK_CLOEXEC);
+    int cfd;
+    if (const auto fp = BDRMAPIT_FAILPOINT("net.accept")) {
+      errno = fp.err != 0 ? fp.err : EMFILE;
+      cfd = -1;
+    } else {
+      cfd = ::accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    }
     if (cfd >= 0) {
       const int one = 1;
       ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      *status = AcceptStatus::kOk;
       return cfd;
     }
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) *exhausted = true;
-    return -1;
+    switch (errno) {
+      case EINTR:
+        continue;
+      case EAGAIN:
+#if EAGAIN != EWOULDBLOCK
+      case EWOULDBLOCK:
+#endif
+        *status = AcceptStatus::kExhausted;
+        return -1;
+      // The peer aborted between SYN and accept — its failure, not
+      // ours; move on to the next pending connection.
+      case ECONNABORTED:
+      case EPROTO:
+      case EPERM:
+        continue;
+      // Out of descriptors (process or system wide) or kernel memory:
+      // shed one pending connection through the reserved slot so the
+      // backlog drains visibly, and tell the caller to back off.
+      case EMFILE:
+      case ENFILE:
+      case ENOBUFS:
+      case ENOMEM:
+        shed_one_pending();
+        *status = AcceptStatus::kFdLimit;
+        return -1;
+      default:
+        *status = AcceptStatus::kTransient;
+        return -1;
+    }
   }
 }
 

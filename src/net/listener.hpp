@@ -7,6 +7,15 @@
 // host, socket/bind/listen errors, port already in use — come back as
 // nullptr with a one-line diagnostic in *error, which bdrmapit_serve
 // forwards verbatim under its distinct listen-failure exit code.
+//
+// Fd-exhaustion survival: the listener holds one spare descriptor (a
+// /dev/null handle opened at bind time). When accept4 hits
+// EMFILE/ENFILE the spare is closed to free a slot, the pending
+// connection is accepted and immediately closed — an explicit refusal
+// the client observes as EOF, instead of a connection parked forever
+// in the backlog — and the spare is reopened. The caller additionally
+// backs off accepting (see net::Server), because under level-triggered
+// epoll a listener that cannot accept would otherwise spin hot.
 
 #pragma once
 
@@ -18,6 +27,15 @@ namespace net {
 
 class Listener {
  public:
+  /// Why accept_one returned no fd.
+  enum class AcceptStatus {
+    kOk,         ///< a connection was accepted (fd returned)
+    kExhausted,  ///< backlog empty (EAGAIN); wait for the next event
+    kFdLimit,    ///< EMFILE/ENFILE/ENOBUFS/ENOMEM: one pending
+                 ///< connection was shed via the spare fd; back off
+    kTransient,  ///< unexpected accept errno; safe to retry later
+  };
+
   /// Binds `host:port` (numeric host only) and starts listening
   /// non-blocking. Returns nullptr with `*error` describing the
   /// failure (bad address, bind/listen errno) otherwise.
@@ -34,16 +52,24 @@ class Listener {
   std::uint16_t port() const noexcept { return port_; }
 
   /// Accepts one pending connection as a non-blocking socket. Returns
-  /// the new fd, or -1 with `*exhausted` true when no connection is
-  /// pending (EAGAIN) and -1 with `*exhausted` false on a transient
-  /// accept error (the caller should simply retry later).
-  int accept_one(bool* exhausted) noexcept;
+  /// the new fd with `*status` kOk, or -1 with the failure class in
+  /// `*status`. Client-side aborts (ECONNABORTED and friends) are
+  /// skipped internally — they are the peer's doing, not a server
+  /// failure. On kFdLimit one pending connection has already been
+  /// shed through the spare-fd trick.
+  int accept_one(AcceptStatus* status) noexcept;
 
  private:
-  Listener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+  Listener(int fd, std::uint16_t port, int spare_fd)
+      : fd_(fd), port_(port), spare_fd_(spare_fd) {}
+
+  /// The EMFILE escape hatch: close the spare descriptor to free one
+  /// slot, accept-and-close one pending connection, reopen the spare.
+  void shed_one_pending() noexcept;
 
   int fd_ = -1;
   std::uint16_t port_ = 0;
+  int spare_fd_ = -1;  ///< reserved slot for shedding under fd pressure
 };
 
 }  // namespace net

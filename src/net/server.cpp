@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <new>
 #include <utility>
 
 #include "parallel/thread_pool.hpp"
@@ -17,7 +18,8 @@ Server::Server(ServerConfig config, Handler handler,
     : config_(std::move(config)),
       handler_(std::move(handler)),
       frame_handler_(std::move(frame_handler)),
-      source_limiter_(config_.rate_limit_source, config_.rate_burst_source) {}
+      source_limiter_(config_.rate_limit_source, config_.rate_burst_source,
+                      config_.rate_source_max) {}
 
 Server::~Server() {
   if (started_ && !joined_) shutdown();
@@ -77,7 +79,11 @@ bool Server::start(std::string* error) {
       // check_idle may close a connection, but destruction is deferred
       // through release(), so iterating the live map here is safe.
       for (auto& [conn, owned] : state.conns) conn->check_idle(now);
-      if (sweeps_sources) source_limiter_.prune(now);
+      if (sweeps_sources) {
+        source_limiter_.prune(now);
+        acceptor_->assert_in_loop();  // loop 0 is the acceptor
+        maybe_resume_accepting();     // fd-exhaustion backoff expiry
+      }
       maybe_stop_loop(state);
     });
     state.thread = std::thread([&state, i] {
@@ -94,9 +100,24 @@ std::uint16_t Server::port() const noexcept { return bound_port_; }
 
 void Server::on_acceptable() {
   for (;;) {
-    bool exhausted = false;
-    const int cfd = listener_ ? listener_->accept_one(&exhausted) : -1;
-    if (cfd < 0) return;  // exhausted or transient error: epoll re-arms
+    if (listener_ == nullptr) return;
+    Listener::AcceptStatus status = Listener::AcceptStatus::kExhausted;
+    const int cfd = listener_->accept_one(&status);
+    if (cfd < 0) {
+      switch (status) {
+        case Listener::AcceptStatus::kExhausted:
+          return;  // backlog drained: epoll re-arms
+        case Listener::AcceptStatus::kFdLimit:
+          // One pending connection was already shed via the spare fd;
+          // stop accepting for a while — retrying now would fail hot.
+          accept_failures_.fetch_add(1, std::memory_order_relaxed);
+          pause_accepting();
+          return;
+        default:  // kTransient: count it, let epoll re-deliver
+          accept_failures_.fetch_add(1, std::memory_order_relaxed);
+          return;
+      }
+    }
     accepted_.fetch_add(1, std::memory_order_relaxed);
 
     if (draining_.load(std::memory_order_relaxed) ||
@@ -108,15 +129,51 @@ void Server::on_acceptable() {
     const std::size_t idx = next_loop_++ % loops_.size();
     LoopState& state = *loops_[idx];
     // Registration must happen on the owning loop's thread; hand the
-    // raw fd across and build the Connection there.
+    // raw fd across and build the Connection there. Allocation may
+    // fail under memory pressure — drop exactly that connection, never
+    // the process.
     state.loop.post([this, &state, idx, cfd] {
       state.loop.assert_in_loop();
-      auto conn = std::make_unique<Connection>(*this, state.loop, idx, cfd);
-      Connection* raw = conn.get();
-      state.conns.emplace(raw, std::move(conn));
-      raw->start();
+      Connection* raw = nullptr;
+      try {
+        auto conn = std::make_unique<Connection>(*this, state.loop, idx, cfd);
+        raw = conn.get();
+        state.conns.emplace(raw, std::move(conn));
+        raw->start();
+      } catch (const std::bad_alloc&) {
+        oom_closed_.fetch_add(1, std::memory_order_relaxed);
+        active_.fetch_sub(1, std::memory_order_relaxed);
+        closed_.fetch_add(1, std::memory_order_relaxed);
+        // Whoever owns the socket closes it: the map entry's destructor
+        // if the Connection was emplaced, stack unwinding if emplace
+        // threw, and this close only when construction itself failed.
+        if (raw == nullptr)
+          ::close(cfd);
+        else
+          state.conns.erase(raw);
+      }
     });
   }
+}
+
+void Server::pause_accepting() {
+  if (listener_ == nullptr) return;
+  if (accept_paused_until_ != std::chrono::steady_clock::time_point::min())
+    return;  // already paused
+  acceptor_->mod_fd(listener_->fd(), 0);  // stop watching; fd stays open
+  accept_paused_until_ =
+      std::chrono::steady_clock::now() + config_.accept_backoff;
+}
+
+void Server::maybe_resume_accepting() {
+  if (listener_ == nullptr ||
+      accept_paused_until_ == std::chrono::steady_clock::time_point::min())
+    return;
+  if (std::chrono::steady_clock::now() < accept_paused_until_) return;
+  accept_paused_until_ = std::chrono::steady_clock::time_point::min();
+  acceptor_->mod_fd(listener_->fd(), EPOLLIN);
+  // Level-triggered epoll re-reports connections that queued during
+  // the pause, so no explicit drain pass is needed here.
 }
 
 void Server::shed(int fd) {
@@ -204,6 +261,10 @@ ServerStats Server::stats() const noexcept {
   s.rate_limited = rate_limited_.load(std::memory_order_relaxed);
   s.frames = frames_.load(std::memory_order_relaxed);
   s.frame_units = frame_units_.load(std::memory_order_relaxed);
+  s.read_errors = read_errors_.load(std::memory_order_relaxed);
+  s.write_errors = write_errors_.load(std::memory_order_relaxed);
+  s.accept_failures = accept_failures_.load(std::memory_order_relaxed);
+  s.oom_closed = oom_closed_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -231,6 +292,18 @@ void Server::note_bytes_out(std::size_t n) noexcept {
 
 void Server::note_rate_limited() noexcept {
   rate_limited_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::note_read_error() noexcept {
+  read_errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::note_write_error() noexcept {
+  write_errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Server::note_oom_closed() noexcept {
+  oom_closed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Server::release(Connection* conn, std::size_t loop_index) {

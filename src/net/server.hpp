@@ -51,6 +51,11 @@ struct ServerConfig {
   std::size_t max_write_buffer = 4u << 20;  ///< pause reading above this
   std::chrono::milliseconds idle_timeout{300'000};
   std::chrono::milliseconds tick_period{1'000};  ///< idle/drain sweep cadence
+  /// How long to stop accepting after fd exhaustion (EMFILE/ENFILE) —
+  /// under level-triggered epoll an un-acceptable listener would
+  /// otherwise wake the acceptor loop in a hot spin. The acceptor's
+  /// tick re-enables accepting once the backoff elapses.
+  std::chrono::milliseconds accept_backoff{100};
 
   /// First request byte that selects binary framing instead of line
   /// framing (the BULK protocol's magic). 0 keeps the stream text-only;
@@ -70,6 +75,11 @@ struct ServerConfig {
   double rate_limit_source = 0;
   /// Source bucket depth; <= 0 resolves to max(rate_limit_source, 1).
   double rate_burst_source = 0;
+  /// Cap on distinct source addresses the source limiter tracks at
+  /// once; at the cap the stalest full bucket is evicted (see
+  /// net/source_limit.hpp). Bounds limiter memory against
+  /// address-diverse abuse. 0 = unbounded.
+  std::size_t rate_source_max = 65536;
   /// Reply sent (then close) when a text request exceeds the limit.
   std::string rate_limited_line = "ERR\trate-limited\n";
   /// Reply sent (then close) when a binary frame exceeds the limit;
@@ -89,6 +99,12 @@ struct ServerStats {
   std::uint64_t rate_limited = 0;  ///< requests rejected by the token bucket
   std::uint64_t frames = 0;        ///< binary frames answered successfully
   std::uint64_t frame_units = 0;   ///< work units (addresses) across frames
+  // Failure counters. Each increments exactly once per failure, which
+  // is what lets the chaos suite equate them with failpoint hit counts.
+  std::uint64_t read_errors = 0;   ///< recv failed; that connection closed
+  std::uint64_t write_errors = 0;  ///< sendmsg failed; that connection closed
+  std::uint64_t accept_failures = 0;  ///< accept errors incl. fd exhaustion
+  std::uint64_t oom_closed = 0;  ///< connections dropped on a failed alloc
 };
 
 /// What the server should do with the connection after a request.
@@ -170,6 +186,9 @@ class Server {
   void note_bytes_in(std::size_t n) noexcept;
   void note_bytes_out(std::size_t n) noexcept;
   void note_rate_limited() noexcept;
+  void note_read_error() noexcept;
+  void note_write_error() noexcept;
+  void note_oom_closed() noexcept;
   /// The shared per-source-address token-bucket map; connections on
   /// every loop charge it (it locks internally).
   SourceLimiter& source_limiter() noexcept { return source_limiter_; }
@@ -190,6 +209,11 @@ class Server {
   void shed(int fd);
   void begin_shutdown() BDRMAPIT_REQUIRES(acceptor_);
   void maybe_stop_loop(LoopState& state) BDRMAPIT_REQUIRES(state.loop);
+  /// Stops watching the listener for accept_backoff (fd exhaustion:
+  /// accepting again immediately would just fail again, hot).
+  void pause_accepting() BDRMAPIT_REQUIRES(acceptor_);
+  /// Acceptor-tick hook: re-arms the listener once the backoff passed.
+  void maybe_resume_accepting() BDRMAPIT_REQUIRES(acceptor_);
 
   ServerConfig config_;
   Handler handler_;
@@ -200,6 +224,9 @@ class Server {
   /// accept-side state below.
   EventLoop* acceptor_ = nullptr;
   std::unique_ptr<Listener> listener_ BDRMAPIT_GUARDED_BY(acceptor_);
+  /// Accept backoff deadline after fd exhaustion; min() = not paused.
+  std::chrono::steady_clock::time_point accept_paused_until_
+      BDRMAPIT_GUARDED_BY(acceptor_) = std::chrono::steady_clock::time_point::min();
   std::uint16_t bound_port_ = 0;  ///< set in start(); constant afterwards
   std::vector<std::unique_ptr<LoopState>> loops_;
   int shutdown_fd_ = -1;
@@ -218,6 +245,10 @@ class Server {
   std::atomic<std::uint64_t> rate_limited_{0};
   std::atomic<std::uint64_t> frames_{0};
   std::atomic<std::uint64_t> frame_units_{0};
+  std::atomic<std::uint64_t> read_errors_{0};
+  std::atomic<std::uint64_t> write_errors_{0};
+  std::atomic<std::uint64_t> accept_failures_{0};
+  std::atomic<std::uint64_t> oom_closed_{0};
 };
 
 }  // namespace net

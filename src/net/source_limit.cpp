@@ -48,13 +48,44 @@ std::size_t SourceKeyHash::operator()(const SourceKey& key) const noexcept {
   return static_cast<std::size_t>(h);
 }
 
-SourceLimiter::SourceLimiter(double rate, double burst) noexcept
+SourceLimiter::SourceLimiter(double rate, double burst,
+                             std::size_t max_sources) noexcept
     : rate_(rate),
-      burst_(burst > 0 ? burst : std::max(rate, 1.0)) {}
+      burst_(burst > 0 ? burst : std::max(rate, 1.0)),
+      max_sources_(max_sources) {}
+
+void SourceLimiter::evict_for_insert_locked(Clock::time_point now) {
+  // First choice: buckets that have refilled to full. Evicting them is
+  // free — a returning source gets an identical fresh-full bucket.
+  bool freed = false;
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    const double refilled = std::min(
+        burst_, it->second.tokens + rate_ * std::chrono::duration<double>(
+                                                now - it->second.refreshed)
+                                                .count());
+    if (refilled >= burst_) {
+      it = buckets_.erase(it);
+      freed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (freed) return;
+  // Every tracked source is actively draining its bucket. Evict the
+  // stalest — the least recently charged — which loses the least
+  // rate-limiting state and matches what a prune would drop first.
+  auto stalest = buckets_.begin();
+  for (auto it = std::next(stalest); it != buckets_.end(); ++it)
+    if (it->second.refreshed < stalest->second.refreshed) stalest = it;
+  buckets_.erase(stalest);
+}
 
 bool SourceLimiter::take(const SourceKey& key, Clock::time_point now) {
   if (rate_ <= 0 || key.family == 0) return true;
   const core::MutexLock lock(mu_);
+  if (max_sources_ > 0 && buckets_.size() >= max_sources_ &&
+      buckets_.find(key) == buckets_.end())
+    evict_for_insert_locked(now);
   auto [it, inserted] = buckets_.try_emplace(key);
   Bucket& bucket = it->second;
   if (inserted) {

@@ -14,6 +14,14 @@
 // Buckets are created full on first sight of an address and pruned
 // once they refill to full (the acceptor loop's tick sweeps), so the
 // map tracks only currently-active sources.
+//
+// The tracked-source count is additionally hard-capped (max_sources):
+// an address-diverse abuser — many spoof-adjacent prefixes, or a
+// botnet — must not grow the map without bound between prune sweeps.
+// At the cap, admitting a new source first sweeps out every bucket
+// that has refilled to full (free to evict: recreated full on return),
+// and failing that evicts the stalest bucket — the one whose last
+// take/refund is oldest. Eviction is O(n) but runs only at the cap.
 
 #pragma once
 
@@ -53,10 +61,16 @@ class SourceLimiter {
  public:
   using Clock = std::chrono::steady_clock;
 
+  /// Default cap on distinct tracked sources (see max_sources).
+  static constexpr std::size_t kDefaultMaxSources = 65536;
+
   /// rate: tokens/sec shared by every connection from one source;
   /// <= 0 disables the limiter. burst: bucket depth, <= 0 resolves to
   /// max(rate, 1) — the same convention as the per-connection bucket.
-  SourceLimiter(double rate, double burst) noexcept;
+  /// max_sources: cap on distinct tracked addresses (0 = unbounded);
+  /// at the cap the stalest full-or-oldest bucket is evicted.
+  SourceLimiter(double rate, double burst,
+                std::size_t max_sources = kDefaultMaxSources) noexcept;
 
   bool enabled() const noexcept { return rate_ > 0; }
 
@@ -83,8 +97,13 @@ class SourceLimiter {
     Clock::time_point refreshed;
   };
 
+  /// Makes room for one more bucket when the map sits at the cap:
+  /// sweep refilled-to-full buckets first, else evict the stalest.
+  void evict_for_insert_locked(Clock::time_point now) BDRMAPIT_REQUIRES(mu_);
+
   const double rate_;
   const double burst_;
+  const std::size_t max_sources_;  ///< 0 = unbounded
   mutable core::Mutex mu_;
   std::unordered_map<SourceKey, Bucket, SourceKeyHash> buckets_
       BDRMAPIT_GUARDED_BY(mu_);

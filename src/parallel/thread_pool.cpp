@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <new>
+
+#include "core/failpoint.hpp"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -101,6 +104,10 @@ void ThreadPool::work_on_job() {
       i = next_task_++;
     }
     try {
+      // "parallel.job" simulates a task dying mid-job (an allocation
+      // failure inside user work); it exercises the same capture-and-
+      // rethrow path as a real throw from fn.
+      if (BDRMAPIT_FAILPOINT("parallel.job")) throw std::bad_alloc();
       (*fn)(i);
     } catch (...) {
       const core::MutexLock lock(mu_);

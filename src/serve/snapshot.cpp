@@ -9,6 +9,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "core/errno_util.hpp"
+#include "core/failpoint.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace serve {
@@ -189,6 +191,19 @@ bool write_snapshot_file(const std::string& path, const Snapshot& snap,
 bool load_snapshot(std::istream& in, Snapshot* out, std::string* error) {
   std::string data((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
+  // "serve.snapshot.read" injects the I/O failures a real disk produces
+  // mid-read: `short` drops the final byte (a torn write / truncated
+  // copy), `err` simulates read(2) failing with the armed errno. Either
+  // way the caller gets `false` plus a precise diagnostic and the
+  // currently-published generation keeps serving.
+  if (const auto fp = BDRMAPIT_FAILPOINT("serve.snapshot.read")) {
+    if (fp.action == core::failpoint::Action::kShort) {
+      if (!data.empty()) data.pop_back();
+    } else {
+      return fail(error, "read error: " +
+                             core::errno_string(fp.err != 0 ? fp.err : EIO));
+    }
+  }
   if (data.size() < kHeaderSize)
     return fail(error, "file too small for snapshot header");
 

@@ -5,6 +5,7 @@
 #include <iterator>
 #include <utility>
 
+#include "core/failpoint.hpp"
 #include "core/thread_annotations.hpp"
 
 namespace serve {
@@ -51,6 +52,12 @@ std::unique_ptr<AnnotationStore> AnnotationStore::open(
     Snapshot snap, const StoreOptions& opt, std::vector<SnapshotIssue>* issues) {
   std::vector<SnapshotIssue> found;
   if (opt.audit) found = validate_snapshot(snap, opt.threads);
+  // "serve.store.open" simulates an audit rejection: the injected issue
+  // flows through the same gate-stats accounting and nullptr return as
+  // a genuinely corrupt snapshot, so reload drivers see the real path.
+  if (BDRMAPIT_FAILPOINT("serve.store.open"))
+    found.push_back({"failpoint.store-open",
+                     "injected audit violation (failpoint serve.store.open)"});
   {
     const core::MutexLock lock(g_gate_mu);
     ++g_gate_stats.opens;

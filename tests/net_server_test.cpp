@@ -868,6 +868,97 @@ TEST_F(NetServerTest, NoBulkServerTreatsMagicByteAsText) {
   EXPECT_EQ(got.compare(0, 4, "ERR\t"), 0) << got;
 }
 
+// ---- source-tracking cap (eviction under address-diverse abuse) --------
+
+net::SourceKey v4_key(std::uint8_t last) {
+  net::SourceKey key;
+  key.family = 4;
+  key.bytes[0] = 10;
+  key.bytes[3] = last;
+  return key;
+}
+
+TEST(SourceLimiter, CapEvictsRefilledBucketsFirst) {
+  // rate 100/s, burst 1: a drained bucket is back to full in 10ms.
+  net::SourceLimiter limiter(/*rate=*/100, /*burst=*/1, /*max_sources=*/2);
+  const auto t0 = net::SourceLimiter::Clock::now();
+  EXPECT_TRUE(limiter.take(v4_key(1), t0));
+  EXPECT_TRUE(limiter.take(v4_key(2), t0));
+  EXPECT_EQ(limiter.size(), 2u);
+  // 20ms later both tracked buckets have refilled to full — they are
+  // free to evict, so a new source sweeps them out instead of growing
+  // the map past the cap (or evicting someone with live state).
+  const auto t1 = t0 + std::chrono::milliseconds(20);
+  EXPECT_TRUE(limiter.take(v4_key(3), t1));
+  EXPECT_EQ(limiter.size(), 1u);  // the sweep dropped both full buckets
+  // An evicted source returns exactly like a brand-new one: full.
+  EXPECT_TRUE(limiter.take(v4_key(1), t1));
+  EXPECT_EQ(limiter.size(), 2u);
+}
+
+TEST(SourceLimiter, CapEvictsStalestWhenEveryBucketIsDraining) {
+  // Negligible refill: no bucket ever returns to full on its own.
+  net::SourceLimiter limiter(/*rate=*/0.001, /*burst=*/2, /*max_sources=*/2);
+  const auto t0 = net::SourceLimiter::Clock::now();
+  EXPECT_TRUE(limiter.take(v4_key(1), t0));
+  EXPECT_TRUE(limiter.take(v4_key(2), t0 + std::chrono::milliseconds(10)));
+  EXPECT_EQ(limiter.size(), 2u);
+  // A third source at the cap evicts the stalest bucket — key 1, whose
+  // last charge is oldest — and never grows the map.
+  const auto t2 = t0 + std::chrono::milliseconds(20);
+  EXPECT_TRUE(limiter.take(v4_key(3), t2));
+  EXPECT_EQ(limiter.size(), 2u);
+  // Key 2 kept its drained state across the eviction: one token left.
+  EXPECT_TRUE(limiter.take(v4_key(2), t2));
+  EXPECT_FALSE(limiter.take(v4_key(2), t2));
+}
+
+TEST(SourceLimiter, ZeroCapMeansUnbounded) {
+  net::SourceLimiter limiter(/*rate=*/0.001, /*burst=*/1, /*max_sources=*/0);
+  const auto t0 = net::SourceLimiter::Clock::now();
+  for (std::uint8_t i = 1; i <= 10; ++i)
+    EXPECT_TRUE(limiter.take(v4_key(i), t0));
+  EXPECT_EQ(limiter.size(), 10u);
+}
+
+// ---- slow loris: parked partial frame ----------------------------------
+
+// A client that sends part of a BULK frame and goes silent must not
+// park forever (the idle reaper closes it) and must not retain the
+// source-bucket token it charged for the undispatched frame — the
+// kNeedMore refund gives it back, so a well-behaved neighbor from the
+// same address keeps its full budget.
+TEST_F(NetServerTest, SlowLorisPartialFrameIsReapedWithTokenRefunded) {
+  net::ServerConfig config;
+  config.rate_limit_source = 0.001;  // negligible refill
+  config.rate_burst_source = 1;      // ONE token for the whole source
+  config.idle_timeout = std::chrono::milliseconds(150);
+  config.tick_period = std::chrono::milliseconds(25);
+  StartServer(config);
+
+  std::string frame;
+  serve::bulk::append_request(frame,
+                              {netbase::IPAddr::must_parse("10.0.0.1"),
+                               netbase::IPAddr::must_parse("10.0.1.1")});
+  Client loris(port_);
+  ASSERT_TRUE(loris.connected());
+  ASSERT_TRUE(loris.send_str(frame.substr(0, frame.size() - 3)));
+  // ... and silence. The partial frame charged the source token and
+  // refunded it on kNeedMore; the idle sweep then reaps the parked
+  // connection without ever dispatching anything.
+  std::string got;
+  ASSERT_TRUE(loris.recv_until_eof(&got)) << "idle reaper never closed";
+  EXPECT_TRUE(got.empty()) << "no reply owed for an undispatched frame";
+
+  // Same source address, fresh connection: the refunded token is
+  // available, so the request dispatches instead of rate-limiting.
+  Client neighbor(port_);
+  ASSERT_TRUE(neighbor.connected());
+  ASSERT_TRUE(neighbor.send_str("COUNT 65001\n"));
+  EXPECT_EQ(neighbor.recv_lines(1), "65001\t2\n");
+  EXPECT_EQ(server_->stats().rate_limited, 0u);
+}
+
 TEST(NetListener, MalformedHostIsDiagnosed) {
   std::string error;
   EXPECT_EQ(net::Listener::open("not-an-address", 0, &error), nullptr);
